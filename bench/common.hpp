@@ -1,0 +1,65 @@
+// Shared scaffolding for the table/figure regeneration harnesses.
+//
+// Every bench binary prints: (1) a header naming the experiment and the
+// paper-expected shape, (2) the regenerated table via gs::Table, and (3)
+// writes the same rows as CSV under bench_results/ so plots can be made
+// from the artifacts. All workloads are seeded; reruns are bit-identical.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lp/generators.hpp"
+#include "simplex/solver.hpp"
+#include "support/table.hpp"
+
+namespace gs::bench {
+
+/// Standard sweep sizes for the dense figures. `--quick` on the command
+/// line truncates the sweep for smoke runs.
+inline std::vector<std::size_t> dense_sizes(int argc, char** argv) {
+  const bool quick =
+      argc > 1 && std::string_view(argv[1]) == "--quick";
+  if (quick) return {64, 128, 256};
+  return {64, 128, 256, 384, 512, 768, 1024, 1536, 2048};
+}
+
+inline void print_header(std::string_view experiment,
+                         std::string_view expectation) {
+  std::cout << "==================================================\n"
+            << experiment << "\n"
+            << "paper-expected shape: " << expectation << "\n"
+            << "==================================================\n";
+}
+
+/// Persist a table as bench_results/<name>.csv (best effort; printing to
+/// stdout is the primary artifact).
+inline void write_csv(std::string_view name, const Table& table) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) return;
+  std::ofstream out("bench_results/" + std::string(name) + ".csv");
+  if (out.good()) out << table.to_csv();
+  std::cout << "[csv] bench_results/" << name << ".csv\n";
+}
+
+/// Solve with the device engine on a given machine model.
+inline simplex::SolveResult solve_device(const lp::LpProblem& problem,
+                                         const vgpu::MachineModel& model,
+                                         simplex::SolverOptions opt = {}) {
+  vgpu::Device dev(model);
+  simplex::DeviceRevisedSimplex<double> solver(dev, opt);
+  return solver.solve(problem);
+}
+
+inline simplex::SolveResult solve_device_float(
+    const lp::LpProblem& problem, const vgpu::MachineModel& model,
+    simplex::SolverOptions opt = {}) {
+  vgpu::Device dev(model);
+  simplex::DeviceRevisedSimplex<float> solver(dev, opt);
+  return solver.solve(problem);
+}
+
+}  // namespace gs::bench

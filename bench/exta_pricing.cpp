@@ -1,0 +1,61 @@
+// Ext. A (ablation) — pricing-rule comparison on the device engine.
+//
+// Rules: Dantzig (most negative), Bland (anti-cycling), the hybrid
+// Dantzig-with-Bland-fallback default, and Devex reference weights.
+// Expected shape: on benign dense instances Dantzig/hybrid need the fewest
+// iterations per unit time; Bland needs the most iterations; Devex pays
+// one extra pricing-shaped kernel per iteration for fewer iterations on
+// harder instances; on Klee-Minty only non-Dantzig rules escape the
+// exponential path cheaply, and on Beale pure Dantzig cycles outright.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  using simplex::PricingRule;
+  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+  bench::print_header(
+      "Ext.A: pricing-rule ablation (device engine, GTX-280 model)",
+      "Bland: most iterations; Dantzig cycles on Beale (iteration limit); "
+      "Devex pays ~2x per-iteration cost");
+
+  struct Case {
+    std::string name;
+    lp::LpProblem problem;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"dense_256", lp::random_dense_lp(
+                                    {.rows = 256, .cols = 256, .seed = 8})});
+  if (!quick) {
+    cases.push_back({"dense_512", lp::random_dense_lp(
+                                      {.rows = 512, .cols = 512, .seed = 9})});
+  }
+  cases.push_back({"klee_minty_10", lp::klee_minty(10)});
+  cases.push_back({"beale_cycling", lp::beale_cycling()});
+  cases.push_back({"transport_8x10", lp::transportation(8, 10, 10)});
+
+  constexpr PricingRule kRules[] = {PricingRule::kDantzig, PricingRule::kBland,
+                                    PricingRule::kHybrid, PricingRule::kDevex};
+
+  Table table({"problem", "rule", "status", "iters", "sim [ms]",
+               "sim/iter [us]"});
+  for (const Case& c : cases) {
+    for (const PricingRule rule : kRules) {
+      simplex::SolverOptions opt;
+      opt.pricing = rule;
+      opt.max_iterations = 5000;  // lets the Beale cycle trip visibly
+      const auto r = bench::solve_device(c.problem, vgpu::gtx280_model(), opt);
+      const double iters =
+          static_cast<double>(std::max<std::size_t>(r.stats.iterations, 1));
+      table.new_row()
+          .add(c.name)
+          .add(std::string(to_string(rule)))
+          .add(std::string(to_string(r.status)))
+          .add(r.stats.iterations)
+          .add(r.stats.sim_seconds * 1e3)
+          .add(r.stats.sim_seconds / iters * 1e6);
+    }
+  }
+  table.print(std::cout);
+  bench::write_csv("exta_pricing", table);
+  return 0;
+}

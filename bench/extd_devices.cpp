@@ -1,0 +1,55 @@
+// Ext. D (extension) — device-model sensitivity.
+//
+// The Fig. 1 workload on three GPU machine models. Expected shape: at
+// simplex-kernel widths (m threads, m <= 2048) every model is far below
+// its saturation width, so *wider* newer GPUs are consistently slower —
+// the effect the follow-on literature observed when a GTX TITAN lost to a
+// GTX 570 across the NETLIB set. Their raw-bandwidth advantage would only
+// appear at m approaching the saturation thread count (tens of thousands).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+  bench::print_header(
+      "Ext.D: machine-model sensitivity (GTX280 / GTX570 / TITAN)",
+      "wider GPUs are under-occupied at simplex kernel widths and lose "
+      "across this sweep (the GTX570-beats-TITAN effect)");
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{64, 256}
+            : std::vector<std::size_t>{64, 128, 256, 512, 1024, 2048};
+  const vgpu::MachineModel models[] = {vgpu::gtx280_model(),
+                                       vgpu::gtx570_model(),
+                                       vgpu::titan_model()};
+
+  Table table({"m=n", "iters", "GTX280 [ms]", "GTX570 [ms]", "TITAN [ms]",
+               "best device"});
+  for (const std::size_t size : sizes) {
+    const auto problem =
+        lp::random_dense_lp({.rows = size, .cols = size, .seed = 13});
+    std::vector<double> times;
+    std::size_t iters = 0;
+    for (const auto& model : models) {
+      const auto r = bench::solve_device(problem, model);
+      if (!r.optimal()) {
+        std::cerr << "non-optimal solve on " << model.name << "\n";
+        return 1;
+      }
+      times.push_back(r.stats.sim_seconds * 1e3);
+      iters = r.stats.iterations;
+    }
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(times.begin(), times.end()) - times.begin());
+    table.new_row()
+        .add(size)
+        .add(iters)
+        .add(times[0])
+        .add(times[1])
+        .add(times[2])
+        .add(std::string(models[best].name));
+  }
+  table.print(std::cout);
+  bench::write_csv("extd_devices", table);
+  return 0;
+}

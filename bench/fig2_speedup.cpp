@@ -1,0 +1,29 @@
+// Fig. 2 — GPU-over-CPU speedup vs. problem size (derived from the Fig. 1
+// sweep).
+//
+// Expected shape: speedup < 1 below the crossover (m ~ 500), rising with
+// size to a modest multiple (the paper reports ~2-2.5x near m = 2000).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  bench::print_header(
+      "Fig.2: GPU-over-CPU speedup vs problem size",
+      "monotone-increasing curve crossing 1.0 near m~500, ~2-3x at m~2000");
+
+  Table table({"m=n", "speedup vs cpu revised", "speedup vs cpu tableau"});
+  for (const std::size_t size : bench::dense_sizes(argc, argv)) {
+    const auto problem =
+        lp::random_dense_lp({.rows = size, .cols = size, .seed = 1});
+    const auto gpu = bench::solve_device(problem, vgpu::gtx280_model());
+    const auto cpu = simplex::solve(problem, simplex::Engine::kHostRevised);
+    const auto tab = simplex::solve(problem, simplex::Engine::kTableau);
+    table.new_row()
+        .add(size)
+        .add(cpu.stats.sim_seconds / gpu.stats.sim_seconds)
+        .add(tab.stats.sim_seconds / gpu.stats.sim_seconds);
+  }
+  table.print(std::cout);
+  bench::write_csv("fig2_speedup", table);
+  return 0;
+}

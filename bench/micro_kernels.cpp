@@ -1,0 +1,96 @@
+// Google-benchmark microbenches of the substrate's functional execution.
+//
+// These measure real host wall time of the virtual-GPU kernels (not the
+// modeled device time the figures use) — they guard the simulator's own
+// performance so the table/figure sweeps stay tractable.
+#include <benchmark/benchmark.h>
+
+#include "lp/generators.hpp"
+#include "simplex/device_revised.hpp"
+#include "sparse/device_csr.hpp"
+#include "support/rng.hpp"
+#include "vblas/blas1.hpp"
+#include "vblas/blas2.hpp"
+#include "vgpu/primitives.hpp"
+
+namespace {
+
+using namespace gs;
+
+void BM_ReduceSum(benchmark::State& state) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vgpu::DeviceBuffer<double> buf(dev, n);
+  vgpu::iota(buf, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vgpu::reduce_sum(buf));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_ReduceSum)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Argmin(benchmark::State& state) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  std::vector<double> host(n);
+  for (auto& v : host) v = rng.uniform(-1.0, 1.0);
+  vgpu::DeviceBuffer<double> buf(dev, std::span<const double>(host));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vgpu::argmin(buf));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_Argmin)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Gemv(benchmark::State& state) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto m = static_cast<std::size_t>(state.range(0));
+  vblas::Matrix<double> host(m, m);
+  Xoshiro256 rng(2);
+  for (auto& v : host.flat()) v = rng.uniform(-1.0, 1.0);
+  vblas::DeviceMatrix<double> a(dev, host);
+  vgpu::DeviceBuffer<double> x(dev, m), y(dev, m);
+  vgpu::fill(x, 1.0);
+  for (auto _ : state) {
+    vblas::gemv(1.0, a, x, 0.0, y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(m * m));
+}
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Spmv(benchmark::State& state) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto problem = lp::random_sparse_lp(
+      {.rows = m, .cols = 4 * m, .density = 0.01, .seed = 3});
+  const auto csr = lp::to_standard_form(problem).csr_a();
+  sparse::DeviceCsr<double> a(dev, csr);
+  vgpu::DeviceBuffer<double> x(dev, a.cols()), y(dev, a.rows());
+  vgpu::fill(x, 1.0);
+  for (auto _ : state) {
+    sparse::spmv(1.0, a, x, 0.0, y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(a.nnz()));
+}
+BENCHMARK(BM_Spmv)->Arg(256)->Arg(1024);
+
+void BM_SimplexIteration(benchmark::State& state) {
+  // Whole-solve wall time per iteration at a representative size: the
+  // number that bounds how far the figure sweeps can reach.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto problem = lp::random_dense_lp({.rows = m, .cols = m, .seed = 4});
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    vgpu::Device dev(vgpu::gtx280_model());
+    simplex::DeviceRevisedSimplex<double> solver(dev);
+    const auto r = solver.solve(problem);
+    iterations += r.stats.iterations;
+  }
+  state.SetItemsProcessed(static_cast<long>(iterations));
+}
+BENCHMARK(BM_SimplexIteration)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Tab. 2 — correctness and iteration-count agreement across all engines.
+//
+// A suite spanning the workload families (dense, sparse, exponential
+// Klee-Minty, the Beale cycling instance, two-phase transportation,
+// infeasible and unbounded instances). Expected shape: every engine
+// reports the same status and, where optimal, the same objective to the
+// precision of its arithmetic.
+#include <cmath>
+
+#include "bench/common.hpp"
+
+int main(int, char**) {
+  using namespace gs;
+  using simplex::Engine;
+  bench::print_header(
+      "Tab.2: cross-engine status/objective agreement",
+      "identical statuses; objectives agree to arithmetic precision");
+
+  struct Case {
+    std::string name;
+    lp::LpProblem problem;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"dense_64", lp::random_dense_lp(
+                                   {.rows = 64, .cols = 64, .seed = 4})});
+  cases.push_back({"dense_wide_32x128",
+                   lp::random_dense_lp({.rows = 32, .cols = 128, .seed = 5})});
+  cases.push_back(
+      {"sparse_64x256",
+       lp::random_sparse_lp(
+           {.rows = 64, .cols = 256, .density = 0.05, .seed = 6})});
+  cases.push_back({"klee_minty_8", lp::klee_minty(8)});
+  cases.push_back({"beale", lp::beale_cycling()});
+  cases.push_back({"transport_6x8", lp::transportation(6, 8, 7)});
+  cases.push_back({"infeasible", lp::infeasible_example()});
+  cases.push_back({"unbounded", lp::unbounded_example()});
+
+  constexpr Engine kEngines[] = {Engine::kDeviceRevised,
+                                 Engine::kDeviceRevisedFloat,
+                                 Engine::kHostRevised, Engine::kTableau,
+                                 Engine::kSparseRevised};
+
+  Table table({"problem", "engine", "status", "objective", "iters",
+               "phase1", "sim [ms]"});
+  int mismatches = 0;
+  for (const Case& c : cases) {
+    double reference = 0.0;
+    bool have_reference = false;
+    for (const Engine e : kEngines) {
+      const auto r = simplex::solve(c.problem, e);
+      table.new_row()
+          .add(c.name)
+          .add(std::string(to_string(e)))
+          .add(std::string(to_string(r.status)))
+          .add(r.optimal() ? r.objective : 0.0)
+          .add(r.stats.iterations)
+          .add(r.stats.phase1_iterations)
+          .add(r.stats.sim_seconds * 1e3);
+      if (r.optimal()) {
+        if (!have_reference) {
+          reference = r.objective;
+          have_reference = true;
+        } else {
+          const double tol =
+              (e == Engine::kDeviceRevisedFloat ? 2e-3 : 1e-6) *
+              (1.0 + std::abs(reference));
+          if (std::abs(r.objective - reference) > tol) ++mismatches;
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "objective mismatches beyond tolerance: " << mismatches
+            << "\n";
+  bench::write_csv("tab2_agreement", table);
+  return mismatches == 0 ? 0 : 1;
+}

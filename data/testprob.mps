@@ -1,0 +1,21 @@
+* The classical MPS exposition example.
+* Optimum: -7 at X1 = 1, X2 = -1, X3 = 6.
+NAME          TESTPROB
+ROWS
+ N  COST
+ L  LIM1
+ G  LIM2
+ E  MYEQN
+COLUMNS
+    X1        COST         1.0   LIM1         1.0
+    X1        LIM2         1.0
+    X2        COST         2.0   LIM1         1.0
+    X2        MYEQN       -1.0
+    X3        COST        -1.0   MYEQN        1.0
+RHS
+    RHS       LIM1         4.0   LIM2         1.0
+    RHS       MYEQN        7.0
+BOUNDS
+ UP BND       X1           4.0
+ LO BND       X2          -1.0
+ENDATA

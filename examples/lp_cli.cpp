@@ -1,0 +1,223 @@
+// lp_cli: command-line LP solver over the library's full pipeline.
+//
+//   lp_cli <model.{lp,mps}> [options]
+//     --engine device|device-float|host|tableau|sparse   (default device)
+//     --pricing dantzig|bland|hybrid|devex               (default hybrid)
+//     --basis explicit|product-form|lu                   (default explicit)
+//     --device gtx280|gtx570|titan                       (default gtx280)
+//     --max-iters N                                      (default 50000)
+//     --presolve                                         run reductions first
+//     --scale pow10|geometric                            scale standard form
+//     --duals                                            print shadow prices
+//     --ranging                                          rhs/cost sensitivity
+//                                                        ranges (host engine)
+//     --stats                                            kernel breakdown
+//
+// Exit code: 0 optimal, 2 infeasible, 3 unbounded, 4 iteration limit,
+// 1 usage/parse error.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "lp/lp_text.hpp"
+#include "lp/mps.hpp"
+#include "lp/presolve.hpp"
+#include "lp/scaling.hpp"
+#include "lp/standard_form.hpp"
+#include "simplex/solver.hpp"
+#include "vgpu/stats_report.hpp"
+
+namespace {
+
+using namespace gs;
+
+int usage() {
+  std::cerr
+      << "usage: lp_cli <model.{lp,mps}> [--engine E] [--pricing P]\n"
+         "              [--basis B] [--device D] [--max-iters N]\n"
+         "              [--presolve] [--scale pow10|geometric] [--duals]\n"
+         "              [--stats]\n";
+  return 1;
+}
+
+int status_code(simplex::SolveStatus s) {
+  switch (s) {
+    case simplex::SolveStatus::kOptimal: return 0;
+    case simplex::SolveStatus::kInfeasible: return 2;
+    case simplex::SolveStatus::kUnbounded: return 3;
+    case simplex::SolveStatus::kIterationLimit: return 4;
+    case simplex::SolveStatus::kNumericalTrouble: return 5;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path;
+  std::map<std::string, std::string> flags;
+  bool presolve_on = false, duals_on = false, stats_on = false;
+  bool ranging_on = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--presolve") {
+      presolve_on = true;
+    } else if (arg == "--duals") {
+      duals_on = true;
+    } else if (arg == "--ranging") {
+      ranging_on = true;
+    } else if (arg == "--stats") {
+      stats_on = true;
+    } else if (arg.starts_with("--")) {
+      if (i + 1 >= argc) return usage();
+      flags[arg.substr(2)] = argv[++i];
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    // ---- Load. ----
+    const bool is_mps = path.ends_with(".mps") || path.ends_with(".MPS");
+    lp::LpProblem problem =
+        is_mps ? lp::read_mps_file(path) : lp::read_lp_file(path);
+    std::cout << "loaded " << path << ": " << problem.num_variables()
+              << " variables, " << problem.num_constraints()
+              << " constraints, " << problem.num_nonzeros() << " nonzeros\n";
+
+    // ---- Presolve. ----
+    lp::PresolveResult pre;
+    if (presolve_on) {
+      pre = lp::presolve(problem);
+      std::cout << "presolve: " << to_string(pre.status) << ", removed "
+                << pre.rows_removed << " rows / " << pre.vars_removed
+                << " vars in " << pre.passes << " passes\n";
+      switch (pre.status) {
+        case lp::PresolveStatus::kInfeasible:
+          std::cout << "status: infeasible (by presolve)\n";
+          return 2;
+        case lp::PresolveStatus::kUnbounded:
+          std::cout << "status: unbounded (by presolve)\n";
+          return 3;
+        case lp::PresolveStatus::kSolved:
+          std::cout << "status: optimal (solved by presolve)\nobjective: "
+                    << pre.objective_offset << "\n";
+          return 0;
+        case lp::PresolveStatus::kReduced:
+          problem = pre.reduced;
+          break;
+      }
+    }
+
+    // ---- Options. ----
+    simplex::SolverOptions options;
+    if (auto it = flags.find("max-iters"); it != flags.end()) {
+      options.max_iterations = static_cast<std::size_t>(std::stoul(it->second));
+    }
+    if (auto it = flags.find("pricing"); it != flags.end()) {
+      const std::string& p = it->second;
+      options.pricing = p == "dantzig" ? simplex::PricingRule::kDantzig
+                        : p == "bland" ? simplex::PricingRule::kBland
+                        : p == "devex" ? simplex::PricingRule::kDevex
+                                       : simplex::PricingRule::kHybrid;
+    }
+    if (auto it = flags.find("basis"); it != flags.end()) {
+      const std::string& b = it->second;
+      options.basis = b == "product-form" ? simplex::BasisScheme::kProductForm
+                      : b == "lu"         ? simplex::BasisScheme::kLuFactors
+                                          : simplex::BasisScheme::kExplicitInverse;
+    }
+    vgpu::MachineModel device_model = vgpu::gtx280_model();
+    if (auto it = flags.find("device"); it != flags.end()) {
+      if (it->second == "gtx570") device_model = vgpu::gtx570_model();
+      if (it->second == "titan") device_model = vgpu::titan_model();
+    }
+    options.ranging = ranging_on;
+    simplex::Engine engine =
+        ranging_on ? simplex::Engine::kHostRevised
+                   : simplex::Engine::kDeviceRevised;
+    if (auto it = flags.find("engine"); it != flags.end()) {
+      const std::string& e = it->second;
+      engine = e == "host"           ? simplex::Engine::kHostRevised
+               : e == "tableau"      ? simplex::Engine::kTableau
+               : e == "sparse"       ? simplex::Engine::kSparseRevised
+               : e == "device-float" ? simplex::Engine::kDeviceRevisedFloat
+                                     : simplex::Engine::kDeviceRevised;
+    }
+
+    // ---- Scaling (solve_standard path) or plain solve. ----
+    simplex::SolveResult result;
+    if (auto it = flags.find("scale"); it != flags.end()) {
+      auto sf = lp::to_standard_form(problem);
+      const lp::ScalingInfo info = it->second == "geometric"
+                                       ? lp::scale_geometric(sf)
+                                       : lp::scale_pow10(sf);
+      vgpu::Device device(device_model);
+      simplex::DeviceRevisedSimplex<double> solver(device, options);
+      result = solver.solve_standard(sf);
+      if (result.optimal()) {
+        result.objective = info.unscale_objective(result.objective);
+        // x was recovered in the scaled space; duals are not unscaled here.
+        result.y.clear();
+      }
+    } else {
+      result = simplex::solve(problem, engine, options, device_model);
+    }
+
+    // ---- Report. ----
+    std::cout << "status: " << to_string(result.status) << "\n"
+              << "iterations: " << result.stats.iterations << " (phase 1: "
+              << result.stats.phase1_iterations << ")\n"
+              << "modeled time: " << result.stats.sim_seconds * 1e3
+              << " ms, wall: " << result.stats.wall_seconds * 1e3 << " ms\n";
+    if (result.optimal()) {
+      std::cout << "objective: ";
+      if (presolve_on) {
+        std::cout << pre.recover_objective(result.objective) << "\n";
+      } else {
+        std::cout << result.objective << "\n";
+      }
+      std::vector<double> x = result.x;
+      if (presolve_on) x = pre.recover(x);
+      std::cout << "solution (nonzeros):\n";
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        if (std::abs(x[j]) > 1e-9) {
+          std::cout << "  x[" << j << "] = " << x[j] << "\n";
+        }
+      }
+      if (duals_on && !result.y.empty()) {
+        std::cout << "duals:\n";
+        for (std::size_t i = 0; i < result.y.size(); ++i) {
+          if (std::abs(result.y[i]) > 1e-9) {
+            std::cout << "  y[" << i << "] = " << result.y[i] << "\n";
+          }
+        }
+      }
+      if (ranging_on && result.ranging.has_value()) {
+        const auto& rg = *result.ranging;
+        std::cout << "rhs ranges (basis stays optimal):\n";
+        for (std::size_t i = 0; i < rg.rhs_lower.size(); ++i) {
+          std::cout << "  row " << i << ": [" << rg.rhs_lower[i] << ", "
+                    << rg.rhs_upper[i] << "]\n";
+        }
+        std::cout << "cost ranges (solution stays optimal):\n";
+        for (std::size_t j = 0; j < rg.cost_lower.size(); ++j) {
+          std::cout << "  var " << j << ": [" << rg.cost_lower[j] << ", "
+                    << rg.cost_upper[j] << "]\n";
+        }
+      }
+    }
+    if (stats_on) {
+      std::cout << "kernel breakdown:\n";
+      vgpu::print_kernel_breakdown(std::cout, result.stats.device_stats);
+    }
+    return status_code(result.status);
+  } catch (const gs::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

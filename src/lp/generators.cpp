@@ -1,0 +1,205 @@
+#include "lp/generators.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gs::lp {
+
+LpProblem random_dense_lp(const DenseLpSpec& spec) {
+  GS_CHECK_MSG(spec.rows > 0 && spec.cols > 0, "empty dense LP spec");
+  GS_CHECK_MSG(spec.coef_lo > 0.0 && spec.coef_hi > spec.coef_lo,
+               "dense LP coefficients must be positive");
+  GS_CHECK_MSG(spec.cost_hi <= 0.0, "dense LP costs must be non-positive");
+  Xoshiro256 rng(spec.seed);
+  LpProblem problem(Objective::kMinimize,
+                    "dense_" + std::to_string(spec.rows) + "x" +
+                        std::to_string(spec.cols) + "_s" +
+                        std::to_string(spec.seed));
+  for (std::size_t j = 0; j < spec.cols; ++j) {
+    problem.add_variable("x" + std::to_string(j),
+                         rng.uniform(spec.cost_lo, spec.cost_hi));
+  }
+  for (std::size_t i = 0; i < spec.rows; ++i) {
+    std::vector<Term> terms;
+    terms.reserve(spec.cols);
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < spec.cols; ++j) {
+      const double a = rng.uniform(spec.coef_lo, spec.coef_hi);
+      terms.push_back({static_cast<std::uint32_t>(j), a});
+      row_sum += a;
+    }
+    const double rhs =
+        rng.uniform(spec.rhs_fraction_lo, spec.rhs_fraction_hi) * row_sum;
+    problem.add_constraint("r" + std::to_string(i), std::move(terms),
+                           RowSense::kLe, rhs);
+  }
+  return problem;
+}
+
+LpProblem random_sparse_lp(const SparseLpSpec& spec) {
+  GS_CHECK_MSG(spec.rows > 0 && spec.cols > 0, "empty sparse LP spec");
+  GS_CHECK_MSG(spec.density > 0.0 && spec.density <= 1.0,
+               "density must be in (0, 1]");
+  Xoshiro256 rng(spec.seed);
+  LpProblem problem(Objective::kMinimize,
+                    "sparse_" + std::to_string(spec.rows) + "x" +
+                        std::to_string(spec.cols) + "_d" +
+                        std::to_string(spec.density) + "_s" +
+                        std::to_string(spec.seed));
+  for (std::size_t j = 0; j < spec.cols; ++j) {
+    problem.add_variable("x" + std::to_string(j),
+                         rng.uniform(spec.cost_lo, spec.cost_hi));
+  }
+  const auto row_nnz_target = static_cast<std::size_t>(
+      std::max(1.0, spec.density * static_cast<double>(spec.cols)));
+  // Draw the sparsity pattern first so every column can be covered: a
+  // column appearing in no row would make the LP unbounded (its cost is
+  // negative and nothing constrains it).
+  std::vector<std::vector<std::uint32_t>> pattern(spec.rows);
+  std::vector<bool> used(spec.cols);
+  for (std::size_t i = 0; i < spec.rows; ++i) {
+    std::fill(used.begin(), used.end(), false);
+    for (std::size_t k = 0; k < row_nnz_target; ++k) {
+      auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(spec.cols) - 1));
+      if (used[j]) continue;  // collisions thin the row slightly; acceptable
+      used[j] = true;
+      pattern[i].push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  std::vector<bool> covered(spec.cols, false);
+  for (const auto& row : pattern) {
+    for (std::uint32_t j : row) covered[j] = true;
+  }
+  for (std::size_t j = 0; j < spec.cols; ++j) {
+    if (!covered[j]) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(spec.rows) - 1));
+      pattern[i].push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  for (std::size_t i = 0; i < spec.rows; ++i) {
+    std::vector<Term> terms;
+    terms.reserve(pattern[i].size());
+    double row_sum = 0.0;
+    for (std::uint32_t j : pattern[i]) {
+      const double a = rng.uniform(spec.coef_lo, spec.coef_hi);
+      terms.push_back({j, a});
+      row_sum += a;
+    }
+    const double rhs = rng.uniform(0.3, 0.9) * row_sum;
+    problem.add_constraint("r" + std::to_string(i), std::move(terms),
+                           RowSense::kLe, rhs);
+  }
+  return problem;
+}
+
+LpProblem klee_minty(std::size_t d) {
+  GS_CHECK_MSG(d >= 1 && d <= 20, "klee_minty dimension out of range");
+  LpProblem problem(Objective::kMaximize, "klee_minty_" + std::to_string(d));
+  for (std::size_t j = 1; j <= d; ++j) {
+    problem.add_variable("x" + std::to_string(j),
+                         std::pow(2.0, static_cast<double>(d - j)));
+  }
+  for (std::size_t i = 1; i <= d; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 1; j < i; ++j) {
+      terms.push_back({static_cast<std::uint32_t>(j - 1),
+                       std::pow(2.0, static_cast<double>(i - j + 1))});
+    }
+    terms.push_back({static_cast<std::uint32_t>(i - 1), 1.0});
+    problem.add_constraint("km" + std::to_string(i), std::move(terms),
+                           RowSense::kLe,
+                           std::pow(5.0, static_cast<double>(i)));
+  }
+  return problem;
+}
+
+LpProblem beale_cycling() {
+  LpProblem problem(Objective::kMinimize, "beale");
+  const auto x1 = problem.add_variable("x1", -0.75);
+  const auto x2 = problem.add_variable("x2", 150.0);
+  const auto x3 = problem.add_variable("x3", -0.02);
+  const auto x4 = problem.add_variable("x4", 6.0);
+  problem.add_constraint(
+      "b1", {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, RowSense::kLe,
+      0.0);
+  problem.add_constraint(
+      "b2", {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, RowSense::kLe,
+      0.0);
+  problem.add_constraint("b3", {{x3, 1.0}}, RowSense::kLe, 1.0);
+  return problem;
+}
+
+LpProblem transportation(std::size_t suppliers, std::size_t consumers,
+                         std::uint64_t seed) {
+  GS_CHECK_MSG(suppliers > 0 && consumers > 0, "empty transportation spec");
+  Xoshiro256 rng(seed);
+  // Integral supplies; demands drawn then rebalanced so totals match.
+  std::vector<double> supply(suppliers), demand(consumers);
+  double total = 0.0;
+  for (double& s : supply) {
+    s = static_cast<double>(rng.uniform_int(10, 50));
+    total += s;
+  }
+  double dem_total = 0.0;
+  for (std::size_t j = 0; j + 1 < consumers; ++j) {
+    const double cap = total - dem_total - static_cast<double>(consumers - j - 1);
+    const double d = std::min(
+        cap, static_cast<double>(rng.uniform_int(
+                 1, std::max<std::int64_t>(
+                        1, static_cast<std::int64_t>(2 * total /
+                                                     static_cast<double>(consumers))))));
+    demand[j] = std::max(1.0, d);
+    dem_total += demand[j];
+  }
+  demand[consumers - 1] = total - dem_total;
+  GS_CHECK_MSG(demand[consumers - 1] >= 0.0, "transportation imbalance");
+
+  LpProblem problem(Objective::kMinimize,
+                    "transport_" + std::to_string(suppliers) + "x" +
+                        std::to_string(consumers));
+  for (std::size_t i = 0; i < suppliers; ++i) {
+    for (std::size_t j = 0; j < consumers; ++j) {
+      problem.add_variable(
+          "t_" + std::to_string(i) + "_" + std::to_string(j),
+          static_cast<double>(rng.uniform_int(1, 10)));
+    }
+  }
+  const auto var = [&](std::size_t i, std::size_t j) {
+    return static_cast<std::uint32_t>(i * consumers + j);
+  };
+  for (std::size_t i = 0; i < suppliers; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < consumers; ++j) terms.push_back({var(i, j), 1.0});
+    problem.add_constraint("supply_" + std::to_string(i), std::move(terms),
+                           RowSense::kEq, supply[i]);
+  }
+  for (std::size_t j = 0; j < consumers; ++j) {
+    std::vector<Term> terms;
+    for (std::size_t i = 0; i < suppliers; ++i) terms.push_back({var(i, j), 1.0});
+    problem.add_constraint("demand_" + std::to_string(j), std::move(terms),
+                           RowSense::kEq, demand[j]);
+  }
+  return problem;
+}
+
+LpProblem infeasible_example() {
+  LpProblem problem(Objective::kMinimize, "infeasible");
+  const auto x = problem.add_variable("x", 1.0);
+  problem.add_constraint("c1", {{x, 1.0}}, RowSense::kLe, 1.0);
+  problem.add_constraint("c2", {{x, 1.0}}, RowSense::kGe, 2.0);
+  return problem;
+}
+
+LpProblem unbounded_example() {
+  LpProblem problem(Objective::kMinimize, "unbounded");
+  const auto x = problem.add_variable("x", -1.0);
+  const auto y = problem.add_variable("y", 0.0);
+  problem.add_constraint("c1", {{x, -1.0}, {y, 1.0}}, RowSense::kLe, 1.0);
+  return problem;
+}
+
+}  // namespace gs::lp

@@ -1,0 +1,72 @@
+// Deterministic LP instance generators: the workload side of every bench.
+//
+// The paper evaluates on randomly generated dense LPs; `random_dense_lp`
+// manufactures that family with feasibility and boundedness by construction
+// (positive constraint matrix, positive rhs, non-positive costs: the origin
+// is feasible with a pure slack basis — the same setup that lets the paper
+// skip phase 1 on synthetic instances). The sparse, Klee-Minty, cycling and
+// transportation generators cover the extension and robustness studies.
+#pragma once
+
+#include <cstdint>
+
+#include "lp/problem.hpp"
+
+namespace gs::lp {
+
+/// Specification of a random dense instance (Fig. 1-3 workloads).
+struct DenseLpSpec {
+  std::size_t rows = 64;       ///< number of '<=' constraints (m)
+  std::size_t cols = 64;       ///< number of structural variables (n)
+  std::uint64_t seed = 1;
+  double coef_lo = 0.1;        ///< A entries ~ U[coef_lo, coef_hi), > 0
+  double coef_hi = 1.0;
+  double rhs_fraction_lo = 0.3;  ///< b_i = U[lo, hi) * (row sum of A)
+  double rhs_fraction_hi = 0.9;
+  double cost_lo = -1.0;       ///< c_j ~ U[cost_lo, cost_hi), <= 0
+  double cost_hi = -0.01;
+};
+
+/// Feasible, bounded dense LP:  min c^T x  s.t.  A x <= b, x >= 0.
+[[nodiscard]] LpProblem random_dense_lp(const DenseLpSpec& spec);
+
+/// Specification of a random sparse (netlib-like) instance (Ext. C).
+struct SparseLpSpec {
+  std::size_t rows = 256;
+  std::size_t cols = 1024;
+  double density = 0.01;       ///< expected fraction of nonzeros per row
+  std::uint64_t seed = 1;
+  double coef_lo = 0.1;
+  double coef_hi = 1.0;
+  double cost_lo = -1.0;
+  double cost_hi = -0.01;
+};
+
+/// Feasible, bounded sparse LP with ~density * cols nonzeros per row (at
+/// least one per row so no row is vacuous).
+[[nodiscard]] LpProblem random_sparse_lp(const SparseLpSpec& spec);
+
+/// Klee-Minty cube of dimension d: the classic exponential worst case for
+/// Dantzig pricing (2^d - 1 iterations). Optimum is 5^d.
+///   max sum_j 2^(d-j) x_j
+///   s.t. 2*sum_{j<i} 2^(i-j) x_j + x_i <= 5^i,  x >= 0
+[[nodiscard]] LpProblem klee_minty(std::size_t d);
+
+/// Beale's 1955 cycling example: Dantzig pricing without anti-cycling
+/// protection cycles forever; Bland's rule terminates. Optimum is -0.05.
+[[nodiscard]] LpProblem beale_cycling();
+
+/// Balanced transportation problem (all-equality rows: exercises the full
+/// two-phase path). suppliers*consumers variables, suppliers+consumers rows.
+[[nodiscard]] LpProblem transportation(std::size_t suppliers,
+                                       std::size_t consumers,
+                                       std::uint64_t seed);
+
+/// Infeasible toy instance (x <= 1 and x >= 2): phase-1 must report it.
+[[nodiscard]] LpProblem infeasible_example();
+
+/// Unbounded toy instance (min -x, x >= 0, no binding rows above):
+/// phase-2 must report it.
+[[nodiscard]] LpProblem unbounded_example();
+
+}  // namespace gs::lp

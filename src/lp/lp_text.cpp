@@ -1,0 +1,335 @@
+#include "lp/lp_text.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace gs::lp {
+
+namespace {
+
+/// Incremental builder that creates variables on first use. Bounds and
+/// objective coefficients are collected separately and applied by a final
+/// rebuild (LpProblem is append-only).
+class Builder {
+ public:
+  explicit Builder(Objective objective) : problem_(objective) {}
+
+  std::uint32_t var(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const std::uint32_t j = problem_.add_variable(name);
+    index_.emplace(name, j);
+    return j;
+  }
+
+  LpProblem& problem() { return problem_; }
+
+ private:
+  LpProblem problem_;
+  std::map<std::string, std::uint32_t> index_;
+};
+
+bool is_ident_char(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+         ch == '.';
+}
+
+bool is_ident_start(char ch) {
+  return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+/// Parse `[sign] [coef] [*] var` terms of a linear expression.
+std::vector<std::pair<std::string, double>> parse_expression(
+    std::string_view expr) {
+  std::vector<std::pair<std::string, double>> terms;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < expr.size() && std::isspace(static_cast<unsigned char>(expr[i])))
+      ++i;
+  };
+  skip_ws();
+  bool first = true;
+  while (i < expr.size()) {
+    double sign = 1.0;
+    if (expr[i] == '+' || expr[i] == '-') {
+      sign = expr[i] == '-' ? -1.0 : 1.0;
+      ++i;
+      skip_ws();
+    } else {
+      GS_CHECK_MSG(first, "expected '+' or '-' between terms in '" +
+                              std::string(expr) + "'");
+    }
+    first = false;
+    // Optional numeric coefficient.
+    double coef = 1.0;
+    if (i < expr.size() &&
+        (std::isdigit(static_cast<unsigned char>(expr[i])) || expr[i] == '.')) {
+      std::size_t start = i;
+      while (i < expr.size() &&
+             (std::isdigit(static_cast<unsigned char>(expr[i])) ||
+              expr[i] == '.' || expr[i] == 'e' || expr[i] == 'E' ||
+              ((expr[i] == '+' || expr[i] == '-') && i > start &&
+               (expr[i - 1] == 'e' || expr[i - 1] == 'E')))) {
+        ++i;
+      }
+      coef = parse_double(expr.substr(start, i - start));
+      skip_ws();
+      if (i < expr.size() && expr[i] == '*') {
+        ++i;
+        skip_ws();
+      }
+    }
+    GS_CHECK_MSG(i < expr.size() && is_ident_start(expr[i]),
+                 "expected variable name in '" + std::string(expr) + "'");
+    std::size_t start = i;
+    while (i < expr.size() && is_ident_char(expr[i])) ++i;
+    terms.emplace_back(std::string(expr.substr(start, i - start)), sign * coef);
+    skip_ws();
+  }
+  GS_CHECK_MSG(!terms.empty(), "empty expression");
+  return terms;
+}
+
+/// Parse one bounds statement into (name, lower, upper).
+void parse_bound(std::string_view stmt,
+                 std::map<std::string, std::pair<double, double>>& bounds) {
+  const std::string s{trim(stmt)};
+  // `x free`
+  {
+    const auto tokens = split_ws(s);
+    if (tokens.size() == 2 && to_lower(tokens[1]) == "free") {
+      bounds[tokens[0]] = {-kInf, kInf};
+      return;
+    }
+  }
+  // Forms: `a <= x <= b`, `x <= b`, `x >= a`, `x = a`.
+  const auto find_op = [&](std::size_t from) -> std::size_t {
+    for (std::size_t i = from; i < s.size(); ++i) {
+      if (s[i] == '<' || s[i] == '>' || s[i] == '=') return i;
+    }
+    return std::string::npos;
+  };
+  const std::size_t op1 = find_op(0);
+  GS_CHECK_MSG(op1 != std::string::npos, "malformed bound: '" + s + "'");
+  const auto op_len = [&](std::size_t pos) {
+    return (pos + 1 < s.size() && s[pos + 1] == '=') ? std::size_t{2}
+                                                     : std::size_t{1};
+  };
+  const std::size_t len1 = op_len(op1);
+  const std::size_t op2 = find_op(op1 + len1);
+  if (op2 != std::string::npos) {
+    // a <= x <= b
+    const double lo = parse_double(s.substr(0, op1));
+    const std::string name{trim(std::string_view(s).substr(
+        op1 + len1, op2 - op1 - len1))};
+    const double hi = parse_double(s.substr(op2 + op_len(op2)));
+    GS_CHECK_MSG(s[op1] == '<' && s[op2] == '<',
+                 "double bound must use '<=': '" + s + "'");
+    bounds[name] = {lo, hi};
+    return;
+  }
+  const std::string lhs{trim(std::string_view(s).substr(0, op1))};
+  const double value = parse_double(s.substr(op1 + len1));
+  auto& entry = bounds.try_emplace(lhs, 0.0, kInf).first->second;
+  if (s[op1] == '<') {
+    entry.second = value;
+    // Standard LP-format semantics: a negative sole upper bound implies the
+    // default lower bound of 0 is dropped.
+    if (value < 0.0) entry.first = -kInf;
+  } else if (s[op1] == '>') {
+    entry.first = value;
+  } else {
+    entry = {value, value};
+  }
+}
+
+}  // namespace
+
+LpProblem read_lp_text(std::string_view text) {
+  // Strip comments, then split statements on ';' and the 'bounds:' marker.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    }
+    if (i < text.size()) cleaned.push_back(text[i]);
+  }
+
+  std::vector<std::string> statements;
+  for (auto& stmt : split(cleaned, ';')) {
+    const auto t = trim(stmt);
+    if (!t.empty()) statements.emplace_back(t);
+  }
+  GS_CHECK_MSG(!statements.empty(), "empty LP text");
+
+  // Objective statement.
+  std::string first = statements.front();
+  const std::string lowered = to_lower(first);
+  Objective objective;
+  std::size_t obj_prefix;
+  if (starts_with(lowered, "min:")) {
+    objective = Objective::kMinimize;
+    obj_prefix = 4;
+  } else if (starts_with(lowered, "max:")) {
+    objective = Objective::kMaximize;
+    obj_prefix = 4;
+  } else {
+    GS_FAIL("LP text must start with 'min:' or 'max:'");
+  }
+
+  Builder builder(objective);
+  std::map<std::string, std::pair<double, double>> bounds;
+  std::map<std::string, double> objective_coefs;
+  for (auto& [name, coef] : parse_expression(
+           std::string_view(first).substr(obj_prefix))) {
+    builder.var(name);
+    objective_coefs[name] += coef;
+  }
+
+  bool in_bounds = false;
+  std::size_t anon_row = 0;
+  for (std::size_t s = 1; s < statements.size(); ++s) {
+    std::string stmt = statements[s];
+    // A `bounds:` marker may be fused to the first bound statement.
+    if (starts_with(to_lower(stmt), "bounds:")) {
+      in_bounds = true;
+      stmt = std::string(trim(std::string_view(stmt).substr(7)));
+      if (stmt.empty()) continue;
+    }
+    if (in_bounds) {
+      parse_bound(stmt, bounds);
+      continue;
+    }
+    // Optional `name:` prefix — a colon before any comparison operator.
+    std::string row_name;
+    const std::size_t colon = stmt.find(':');
+    const std::size_t cmp = stmt.find_first_of("<>=");
+    if (colon != std::string::npos && (cmp == std::string::npos || colon < cmp)) {
+      row_name = std::string(trim(std::string_view(stmt).substr(0, colon)));
+      // Build the tail into a fresh string before replacing stmt (the view
+      // aliases stmt's buffer).
+      std::string tail{trim(std::string_view(stmt).substr(colon + 1))};
+      stmt.swap(tail);
+    } else {
+      row_name = "r" + std::to_string(anon_row);
+    }
+    ++anon_row;
+    GS_CHECK_MSG(cmp != std::string::npos,
+                 "constraint missing comparison: '" + statements[s] + "'");
+    const std::size_t op = stmt.find_first_of("<>=");
+    GS_CHECK_MSG(op != std::string::npos, "constraint missing comparison");
+    RowSense sense;
+    std::size_t op_len = 1;
+    if (stmt[op] == '<') {
+      sense = RowSense::kLe;
+    } else if (stmt[op] == '>') {
+      sense = RowSense::kGe;
+    } else {
+      sense = RowSense::kEq;
+    }
+    if (op + 1 < stmt.size() && stmt[op + 1] == '=') op_len = 2;
+    const auto lhs = parse_expression(std::string_view(stmt).substr(0, op));
+    const double rhs = parse_double(stmt.substr(op + op_len));
+    std::vector<Term> terms;
+    terms.reserve(lhs.size());
+    for (const auto& [name, coef] : lhs) {
+      terms.push_back({builder.var(name), coef});
+    }
+    builder.problem().add_constraint(row_name, std::move(terms), sense, rhs);
+  }
+
+  // Rebuild with objective coefficients and bounds applied.
+  LpProblem& parsed = builder.problem();
+  LpProblem out(objective);
+  for (std::size_t j = 0; j < parsed.num_variables(); ++j) {
+    const Variable& v = parsed.variable(j);
+    double lo = v.lower;
+    double hi = v.upper;
+    if (auto it = bounds.find(v.name); it != bounds.end()) {
+      lo = it->second.first;
+      hi = it->second.second;
+    }
+    double coef = 0.0;
+    if (auto it = objective_coefs.find(v.name); it != objective_coefs.end()) {
+      coef = it->second;
+    }
+    out.add_variable(v.name, coef, lo, hi);
+  }
+  for (std::size_t i = 0; i < parsed.num_constraints(); ++i) {
+    const Constraint& c = parsed.constraint(i);
+    out.add_constraint(c.name, c.terms, c.sense, c.rhs);
+  }
+  return out;
+}
+
+LpProblem read_lp_file(const std::string& path) {
+  std::ifstream in(path);
+  GS_CHECK_MSG(in.good(), "cannot open LP file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_lp_text(buf.str());
+}
+
+std::string write_lp_text(const LpProblem& problem) {
+  std::ostringstream os;
+  const auto emit_terms = [&](const std::vector<Term>& terms) {
+    bool first = true;
+    for (const Term& t : terms) {
+      const double coef = t.coef;
+      if (coef == 0.0) continue;
+      const double mag = std::abs(coef);
+      if (first) {
+        if (coef < 0) os << "-";
+      } else {
+        os << (coef < 0 ? " - " : " + ");
+      }
+      if (mag != 1.0) os << format_double(mag, 17) << " ";
+      os << problem.variable(t.var).name;
+      first = false;
+    }
+    if (first) os << "0 " << problem.variable(0).name;  // empty expression
+  };
+
+  os << (problem.objective() == Objective::kMinimize ? "min:" : "max:") << " ";
+  std::vector<Term> obj;
+  for (std::uint32_t j = 0; j < problem.num_variables(); ++j) {
+    obj.push_back({j, problem.variable(j).objective_coef});
+  }
+  emit_terms(obj);
+  os << ";\n";
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Constraint& c = problem.constraint(i);
+    os << c.name << ": ";
+    emit_terms(c.terms);
+    switch (c.sense) {
+      case RowSense::kLe: os << " <= "; break;
+      case RowSense::kGe: os << " >= "; break;
+      case RowSense::kEq: os << " = "; break;
+    }
+    os << format_double(c.rhs, 17) << ";\n";
+  }
+  os << "bounds:\n";
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    const Variable& v = problem.variable(j);
+    if (v.lower == 0.0 && v.upper == kInf) continue;  // default
+    os << "  ";
+    if (!std::isfinite(v.lower) && !std::isfinite(v.upper)) {
+      os << v.name << " free;\n";
+    } else if (std::isfinite(v.lower) && std::isfinite(v.upper)) {
+      os << format_double(v.lower, 17) << " <= " << v.name << " <= "
+         << format_double(v.upper, 17) << ";\n";
+    } else if (std::isfinite(v.lower)) {
+      os << v.name << " >= " << format_double(v.lower, 17) << ";\n";
+    } else {
+      os << v.name << " <= " << format_double(v.upper, 17) << ";\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gs::lp

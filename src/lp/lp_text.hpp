@@ -1,0 +1,37 @@
+// Plain-text LP format reader and writer.
+//
+// The dialect (documented here, round-trips through read/write):
+//
+//   # comment until end of line
+//   min: 3 x1 - 2 x2 + 0.5 x3;          (or `max:`; must come first)
+//   r1: x1 + x2 <= 10;                  (constraint name optional)
+//   -x1 + 4*x2 >= 2;
+//   r3: x1 + x2 + x3 = 7;
+//   bounds:
+//     x1 >= 1;
+//     0 <= x2 <= 8;
+//     x3 free;
+//
+// Terms are `[sign] [coefficient] [*] variable`; a bare variable has
+// coefficient 1. Variables are created on first use with default bounds
+// [0, +inf); the bounds section overrides them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lp/problem.hpp"
+
+namespace gs::lp {
+
+/// Parse an LP from text. Throws gs::Error with a line diagnostic on
+/// malformed input.
+[[nodiscard]] LpProblem read_lp_text(std::string_view text);
+
+/// Read from a file path.
+[[nodiscard]] LpProblem read_lp_file(const std::string& path);
+
+/// Serialize a problem into the dialect above.
+[[nodiscard]] std::string write_lp_text(const LpProblem& problem);
+
+}  // namespace gs::lp

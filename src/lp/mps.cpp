@@ -1,0 +1,369 @@
+#include "lp/mps.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace gs::lp {
+
+namespace {
+
+enum class Section {
+  kNone,
+  kObjsense,
+  kRows,
+  kColumns,
+  kRhs,
+  kRanges,
+  kBounds,
+  kEnd,
+};
+
+struct RowDef {
+  std::string name;
+  char type = 'N';  // N, L, G, E
+  std::vector<Term> terms;
+  double rhs = 0.0;
+  bool has_range = false;
+  double range = 0.0;
+};
+
+struct BoundOverride {
+  bool has_lower = false;
+  bool has_upper = false;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+[[noreturn]] void fail_at(std::size_t line_no, std::string_view message) {
+  GS_FAIL("MPS line " + std::to_string(line_no) + ": " + std::string(message));
+}
+
+}  // namespace
+
+LpProblem read_mps_text(std::string_view text) {
+  Section section = Section::kNone;
+  Objective objective = Objective::kMinimize;
+
+  std::vector<RowDef> rows;
+  std::map<std::string, std::size_t, std::less<>> row_index;
+  std::string objective_row;
+
+  // Column data: order of first appearance is preserved.
+  std::vector<std::string> col_names;
+  std::map<std::string, std::uint32_t, std::less<>> col_index;
+  std::vector<double> col_cost;
+  std::map<std::string, BoundOverride, std::less<>> bounds;
+
+  const auto column_of = [&](const std::string& name) -> std::uint32_t {
+    auto it = col_index.find(name);
+    if (it != col_index.end()) return it->second;
+    const auto j = static_cast<std::uint32_t>(col_names.size());
+    col_names.push_back(name);
+    col_cost.push_back(0.0);
+    col_index.emplace(name, j);
+    return j;
+  };
+
+  std::size_t line_no = 0;
+  std::string line;
+  std::istringstream stream{std::string(text)};
+  bool saw_endata = false;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '*') continue;  // comment
+    const auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    // Section headers start in column 1 (no leading whitespace).
+    const bool is_header = !std::isspace(static_cast<unsigned char>(line[0]));
+    if (is_header) {
+      const std::string header = to_lower(tokens[0]);
+      if (header == "name") {
+        continue;  // model name token optional; nothing to record
+      } else if (header == "objsense") {
+        section = Section::kObjsense;
+        // Allow `OBJSENSE MAX` on one line.
+        if (tokens.size() > 1) {
+          objective = to_lower(tokens[1]) == "max" ? Objective::kMaximize
+                                                   : Objective::kMinimize;
+          section = Section::kNone;
+        }
+      } else if (header == "rows") {
+        section = Section::kRows;
+      } else if (header == "columns") {
+        section = Section::kColumns;
+      } else if (header == "rhs") {
+        section = Section::kRhs;
+      } else if (header == "ranges") {
+        section = Section::kRanges;
+      } else if (header == "bounds") {
+        section = Section::kBounds;
+      } else if (header == "endata") {
+        saw_endata = true;
+        break;
+      } else {
+        fail_at(line_no, "unknown section '" + tokens[0] + "'");
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kObjsense: {
+        objective = to_lower(tokens[0]) == "max" ? Objective::kMaximize
+                                                 : Objective::kMinimize;
+        section = Section::kNone;
+        break;
+      }
+      case Section::kRows: {
+        if (tokens.size() != 2) fail_at(line_no, "ROWS entry needs 2 fields");
+        const char type =
+            static_cast<char>(std::toupper(static_cast<unsigned char>(
+                tokens[0][0])));
+        if (tokens[0].size() != 1 ||
+            (type != 'N' && type != 'L' && type != 'G' && type != 'E')) {
+          fail_at(line_no, "row type must be one of N L G E");
+        }
+        if (type == 'N') {
+          if (objective_row.empty()) objective_row = tokens[1];
+          // additional free rows are ignored, as is conventional
+          break;
+        }
+        if (row_index.contains(tokens[1])) {
+          fail_at(line_no, "duplicate row '" + tokens[1] + "'");
+        }
+        row_index.emplace(tokens[1], rows.size());
+        rows.push_back(RowDef{tokens[1], type, {}, 0.0, false, 0.0});
+        break;
+      }
+      case Section::kColumns: {
+        if (tokens.size() >= 3 && to_lower(tokens[1]) == "'marker'") {
+          fail_at(line_no, "integer markers are unsupported (LP only)");
+        }
+        if (tokens.size() != 3 && tokens.size() != 5) {
+          fail_at(line_no, "COLUMNS entry needs (column row value) pairs");
+        }
+        const std::uint32_t j = column_of(tokens[0]);
+        for (std::size_t k = 1; k + 1 < tokens.size(); k += 2) {
+          const std::string& row_name = tokens[k];
+          const double value = parse_double(tokens[k + 1]);
+          if (row_name == objective_row) {
+            col_cost[j] += value;
+          } else {
+            const auto it = row_index.find(row_name);
+            if (it == row_index.end()) {
+              fail_at(line_no, "unknown row '" + row_name + "'");
+            }
+            rows[it->second].terms.push_back({j, value});
+          }
+        }
+        break;
+      }
+      case Section::kRhs: {
+        if (tokens.size() != 3 && tokens.size() != 5) {
+          fail_at(line_no, "RHS entry needs (set row value) pairs");
+        }
+        for (std::size_t k = 1; k + 1 < tokens.size(); k += 2) {
+          if (tokens[k] == objective_row) continue;  // objective constant
+          const auto it = row_index.find(tokens[k]);
+          if (it == row_index.end()) {
+            fail_at(line_no, "unknown row '" + tokens[k] + "'");
+          }
+          rows[it->second].rhs = parse_double(tokens[k + 1]);
+        }
+        break;
+      }
+      case Section::kRanges: {
+        if (tokens.size() != 3 && tokens.size() != 5) {
+          fail_at(line_no, "RANGES entry needs (set row value) pairs");
+        }
+        for (std::size_t k = 1; k + 1 < tokens.size(); k += 2) {
+          const auto it = row_index.find(tokens[k]);
+          if (it == row_index.end()) {
+            fail_at(line_no, "unknown row '" + tokens[k] + "'");
+          }
+          rows[it->second].has_range = true;
+          rows[it->second].range = parse_double(tokens[k + 1]);
+        }
+        break;
+      }
+      case Section::kBounds: {
+        if (tokens.size() < 3) fail_at(line_no, "BOUNDS entry too short");
+        const std::string type = to_lower(tokens[0]);
+        const std::string& var = tokens[2];
+        const std::uint32_t j = column_of(var);
+        (void)j;
+        BoundOverride& bo = bounds[var];
+        const auto need_value = [&]() -> double {
+          if (tokens.size() < 4) fail_at(line_no, "bound needs a value");
+          return parse_double(tokens[3]);
+        };
+        if (type == "up") {
+          bo.has_upper = true;
+          bo.upper = need_value();
+          // Classical rule: negative upper bound without explicit lower
+          // drops the default lower bound (resolved at build time).
+        } else if (type == "lo") {
+          bo.has_lower = true;
+          bo.lower = need_value();
+        } else if (type == "fx") {
+          const double v = need_value();
+          bo.has_lower = bo.has_upper = true;
+          bo.lower = bo.upper = v;
+        } else if (type == "fr") {
+          bo.has_lower = bo.has_upper = true;
+          bo.lower = -kInf;
+          bo.upper = kInf;
+        } else if (type == "mi") {
+          bo.has_lower = true;
+          bo.lower = -kInf;
+        } else if (type == "pl") {
+          bo.has_upper = true;
+          bo.upper = kInf;
+        } else if (type == "bv" || type == "li" || type == "ui") {
+          fail_at(line_no, "integer bound '" + tokens[0] +
+                               "' is unsupported (LP only)");
+        } else {
+          fail_at(line_no, "unknown bound type '" + tokens[0] + "'");
+        }
+        break;
+      }
+      case Section::kNone:
+      case Section::kEnd:
+        fail_at(line_no, "data before any section header");
+    }
+  }
+  GS_CHECK_MSG(saw_endata, "MPS text missing ENDATA");
+  GS_CHECK_MSG(!objective_row.empty(), "MPS text has no objective (N) row");
+
+  // ---- Build the LpProblem. ----
+  LpProblem problem(objective, "mps");
+  for (std::size_t j = 0; j < col_names.size(); ++j) {
+    double lower = 0.0;
+    double upper = kInf;
+    if (const auto it = bounds.find(col_names[j]); it != bounds.end()) {
+      const BoundOverride& bo = it->second;
+      if (bo.has_lower) lower = bo.lower;
+      if (bo.has_upper) upper = bo.upper;
+      if (bo.has_upper && !bo.has_lower && bo.upper < 0.0) lower = -kInf;
+    }
+    problem.add_variable(col_names[j], col_cost[j], lower, upper);
+  }
+  for (const RowDef& row : rows) {
+    if (!row.has_range) {
+      const RowSense sense = row.type == 'L'   ? RowSense::kLe
+                             : row.type == 'G' ? RowSense::kGe
+                                               : RowSense::kEq;
+      problem.add_constraint(row.name, row.terms, sense, row.rhs);
+      continue;
+    }
+    // Ranged row -> interval [lo, hi] -> two constraints.
+    double lo = 0.0, hi = 0.0;
+    const double r = row.range;
+    switch (row.type) {
+      case 'L':
+        lo = row.rhs - std::abs(r);
+        hi = row.rhs;
+        break;
+      case 'G':
+        lo = row.rhs;
+        hi = row.rhs + std::abs(r);
+        break;
+      case 'E':
+        lo = r >= 0.0 ? row.rhs : row.rhs + r;
+        hi = r >= 0.0 ? row.rhs + r : row.rhs;
+        break;
+      default:
+        GS_FAIL("range on a free row");
+    }
+    problem.add_constraint(row.name + "_hi", row.terms, RowSense::kLe, hi);
+    problem.add_constraint(row.name + "_lo", row.terms, RowSense::kGe, lo);
+  }
+  return problem;
+}
+
+LpProblem read_mps_file(const std::string& path) {
+  std::ifstream in(path);
+  GS_CHECK_MSG(in.good(), "cannot open MPS file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_mps_text(buf.str());
+}
+
+std::string write_mps_text(const LpProblem& problem) {
+  std::ostringstream os;
+  os << "NAME " << (problem.name().empty() ? "LP" : problem.name()) << "\n";
+  if (problem.objective() == Objective::kMaximize) {
+    os << "OBJSENSE\n MAX\n";
+  }
+  os << "ROWS\n N COST\n";
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Constraint& con = problem.constraint(i);
+    const char type = con.sense == RowSense::kLe   ? 'L'
+                      : con.sense == RowSense::kGe ? 'G'
+                                                   : 'E';
+    os << " " << type << " " << con.name << "\n";
+  }
+  // COLUMNS: walk variables, then each constraint's term for it. Building
+  // a column-major view first keeps output grouped per column as required.
+  std::vector<std::vector<std::pair<std::string, double>>> columns(
+      problem.num_variables());
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Constraint& con = problem.constraint(i);
+    for (const Term& t : con.terms) {
+      if (t.coef != 0.0) columns[t.var].emplace_back(con.name, t.coef);
+    }
+  }
+  os << "COLUMNS\n";
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    const Variable& v = problem.variable(j);
+    if (v.objective_coef != 0.0) {
+      os << " " << v.name << " COST " << format_double(v.objective_coef, 17)
+         << "\n";
+    }
+    for (const auto& [row, coef] : columns[j]) {
+      os << " " << v.name << " " << row << " " << format_double(coef, 17)
+         << "\n";
+    }
+  }
+  os << "RHS\n";
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Constraint& con = problem.constraint(i);
+    if (con.rhs != 0.0) {
+      os << " RHS " << con.name << " " << format_double(con.rhs, 17) << "\n";
+    }
+  }
+  os << "BOUNDS\n";
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    const Variable& v = problem.variable(j);
+    const bool lo_def = v.lower == 0.0;
+    const bool up_def = std::isinf(v.upper) && v.upper > 0;
+    if (lo_def && up_def) continue;
+    if (std::isinf(v.lower) && std::isinf(v.upper)) {
+      os << " FR BND " << v.name << "\n";
+      continue;
+    }
+    if (v.lower == v.upper) {
+      os << " FX BND " << v.name << " " << format_double(v.lower, 17) << "\n";
+      continue;
+    }
+    if (!lo_def) {
+      if (std::isinf(v.lower)) {
+        os << " MI BND " << v.name << "\n";
+      } else {
+        os << " LO BND " << v.name << " " << format_double(v.lower, 17)
+           << "\n";
+      }
+    }
+    if (!up_def) {
+      os << " UP BND " << v.name << " " << format_double(v.upper, 17) << "\n";
+    }
+  }
+  os << "ENDATA\n";
+  return os.str();
+}
+
+}  // namespace gs::lp

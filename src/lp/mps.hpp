@@ -1,0 +1,34 @@
+// MPS format reader and writer (the netlib LP interchange format).
+//
+// Free-format MPS is supported: tokens separated by whitespace, sections
+//   NAME, OBJSENSE (MIN/MAX extension), ROWS (N/L/G/E), COLUMNS,
+//   RHS, RANGES, BOUNDS (UP/LO/FX/FR/MI/PL), ENDATA
+// Semantics follow the classical conventions:
+//   * the first N row is the objective; additional N rows are ignored
+//   * RANGES r on row with rhs b: L -> [b-|r|, b]; G -> [b, b+|r|];
+//     E -> [b, b+r] for r >= 0, [b+r, b] for r < 0 (each ranged row is
+//     split into a '<=' and a '>=' constraint)
+//   * an UP bound with a negative value on a variable without an explicit
+//     lower bound drops the default lower bound of 0 to -inf
+// Integer markers (MARKER/INTORG) and BV/LI/UI bounds are rejected with a
+// diagnostic: this is an LP library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lp/problem.hpp"
+
+namespace gs::lp {
+
+/// Parse an MPS model from text. Throws gs::Error with a section/line
+/// diagnostic on malformed input.
+[[nodiscard]] LpProblem read_mps_text(std::string_view text);
+
+/// Read from a file path.
+[[nodiscard]] LpProblem read_mps_file(const std::string& path);
+
+/// Serialize to free-format MPS (uses OBJSENSE for maximization).
+[[nodiscard]] std::string write_mps_text(const LpProblem& problem);
+
+}  // namespace gs::lp

@@ -1,0 +1,247 @@
+#include "lp/presolve.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gs::lp {
+
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+/// Mutable working copy of the problem during reduction.
+struct Work {
+  explicit Work(const LpProblem& p)
+      : objective(p.objective()),
+        lower(p.num_variables()),
+        upper(p.num_variables()),
+        cost(p.num_variables()),
+        var_active(p.num_variables(), true),
+        value(p.num_variables(), 0.0),
+        row_active(p.num_constraints(), true) {
+    for (std::size_t j = 0; j < p.num_variables(); ++j) {
+      const Variable& v = p.variable(j);
+      lower[j] = v.lower;
+      upper[j] = v.upper;
+      cost[j] = v.objective_coef;
+    }
+    rows.reserve(p.num_constraints());
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+      const Constraint& c = p.constraint(i);
+      Row row;
+      row.sense = c.sense;
+      row.rhs = c.rhs;
+      for (const Term& t : c.terms) {
+        if (t.coef != 0.0) row.terms.push_back(t);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  struct Row {
+    std::vector<Term> terms;
+    RowSense sense;
+    double rhs;
+  };
+
+  Objective objective;
+  std::vector<double> lower, upper, cost;
+  std::vector<bool> var_active;
+  std::vector<double> value;  ///< assigned value of eliminated variables
+  std::vector<Row> rows;
+  std::vector<bool> row_active;
+};
+
+/// Tighten a variable's bounds from a singleton row `a * x sense b`.
+/// Returns false on detected infeasibility.
+[[nodiscard]] bool apply_singleton(Work& w, std::uint32_t var, double a,
+                                   RowSense sense, double b) {
+  const double q = b / a;
+  const bool flip = a < 0.0;
+  const RowSense effective =
+      sense == RowSense::kEq
+          ? RowSense::kEq
+          : ((sense == RowSense::kLe) != flip ? RowSense::kLe : RowSense::kGe);
+  if (effective != RowSense::kGe) {  // upper bound q
+    w.upper[var] = std::min(w.upper[var], q);
+  }
+  if (effective != RowSense::kLe) {  // lower bound q
+    w.lower[var] = std::max(w.lower[var], q);
+  }
+  return w.lower[var] <= w.upper[var] + kFeasTol;
+}
+
+/// Substitute an eliminated variable's value into every active row.
+void substitute(Work& w, std::uint32_t var, double value) {
+  w.var_active[var] = false;
+  w.value[var] = value;
+  for (std::size_t i = 0; i < w.rows.size(); ++i) {
+    if (!w.row_active[i]) continue;
+    auto& terms = w.rows[i].terms;
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+      if (terms[k].var == var) {
+        w.rows[i].rhs -= terms[k].coef * value;
+        terms.erase(terms.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+    }
+  }
+}
+
+/// True if the (constant) row `0 sense rhs` is satisfied.
+[[nodiscard]] bool empty_row_feasible(RowSense sense, double rhs) {
+  switch (sense) {
+    case RowSense::kLe: return rhs >= -kFeasTol;
+    case RowSense::kGe: return rhs <= kFeasTol;
+    case RowSense::kEq: return std::abs(rhs) <= kFeasTol;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> PresolveResult::recover(
+    std::span<const double> x_reduced) const {
+  GS_CHECK_MSG(x_reduced.size() == kept_vars.size(),
+               "presolve recover dimension mismatch");
+  std::vector<double> x = eliminated_value;
+  for (std::size_t j = 0; j < kept_vars.size(); ++j) {
+    x[kept_vars[j]] = x_reduced[j];
+  }
+  return x;
+}
+
+PresolveResult presolve(const LpProblem& problem) {
+  Work w(problem);
+  PresolveResult out;
+  out.eliminated_value.assign(problem.num_variables(), 0.0);
+
+  // Count row occurrences per variable to find empty columns cheaply.
+  std::vector<std::size_t> col_count(problem.num_variables(), 0);
+  const auto recount = [&] {
+    std::fill(col_count.begin(), col_count.end(), 0);
+    for (std::size_t i = 0; i < w.rows.size(); ++i) {
+      if (!w.row_active[i]) continue;
+      for (const Term& t : w.rows[i].terms) ++col_count[t.var];
+    }
+  };
+
+  const double sign = w.objective == Objective::kMaximize ? -1.0 : 1.0;
+  bool changed = true;
+  constexpr std::size_t kMaxPasses = 16;
+  while (changed && out.passes < kMaxPasses) {
+    changed = false;
+    ++out.passes;
+    recount();
+
+    // ---- Rows: empty and singleton. ----
+    for (std::size_t i = 0; i < w.rows.size(); ++i) {
+      if (!w.row_active[i]) continue;
+      auto& row = w.rows[i];
+      if (row.terms.empty()) {
+        if (!empty_row_feasible(row.sense, row.rhs)) {
+          out.status = PresolveStatus::kInfeasible;
+          return out;
+        }
+        w.row_active[i] = false;
+        ++out.rows_removed;
+        changed = true;
+        continue;
+      }
+      if (row.terms.size() == 1) {
+        const Term t = row.terms[0];
+        if (!apply_singleton(w, t.var, t.coef, row.sense, row.rhs)) {
+          out.status = PresolveStatus::kInfeasible;
+          return out;
+        }
+        w.row_active[i] = false;
+        ++out.rows_removed;
+        changed = true;
+      }
+    }
+    recount();
+
+    // ---- Columns: fixed variables and empty columns. ----
+    for (std::uint32_t j = 0; j < problem.num_variables(); ++j) {
+      if (!w.var_active[j]) continue;
+      if (w.lower[j] > w.upper[j] + kFeasTol) {
+        out.status = PresolveStatus::kInfeasible;
+        return out;
+      }
+      // Fixed variable: substitute its value everywhere.
+      if (std::isfinite(w.lower[j]) &&
+          w.upper[j] - w.lower[j] <= kFeasTol) {
+        const double v = w.lower[j];
+        out.objective_offset += w.cost[j] * v;
+        substitute(w, j, v);
+        ++out.vars_removed;
+        changed = true;
+        continue;
+      }
+      // Empty column: pin to the cost-optimal finite bound.
+      if (col_count[j] == 0) {
+        const double min_cost = sign * w.cost[j];  // minimize orientation
+        double v;
+        if (min_cost > kFeasTol) {
+          if (!std::isfinite(w.lower[j])) {
+            out.status = PresolveStatus::kUnbounded;
+            return out;
+          }
+          v = w.lower[j];
+        } else if (min_cost < -kFeasTol) {
+          if (!std::isfinite(w.upper[j])) {
+            out.status = PresolveStatus::kUnbounded;
+            return out;
+          }
+          v = w.upper[j];
+        } else {
+          v = std::isfinite(w.lower[j])   ? w.lower[j]
+              : std::isfinite(w.upper[j]) ? w.upper[j]
+                                          : 0.0;
+        }
+        out.objective_offset += w.cost[j] * v;
+        substitute(w, j, v);
+        ++out.vars_removed;
+        changed = true;
+      }
+    }
+  }
+
+  // ---- Assemble the reduced problem. ----
+  std::vector<std::int64_t> new_index(problem.num_variables(), -1);
+  for (std::uint32_t j = 0; j < problem.num_variables(); ++j) {
+    if (w.var_active[j]) {
+      new_index[j] = static_cast<std::int64_t>(out.kept_vars.size());
+      out.kept_vars.push_back(j);
+    } else {
+      out.eliminated_value[j] = w.value[j];
+    }
+  }
+  if (out.kept_vars.empty()) {
+    out.status = PresolveStatus::kSolved;
+    return out;
+  }
+
+  LpProblem reduced(problem.objective(), problem.name() + "_presolved");
+  for (const std::uint32_t j : out.kept_vars) {
+    reduced.add_variable(problem.variable(j).name, w.cost[j], w.lower[j],
+                         w.upper[j]);
+  }
+  for (std::size_t i = 0; i < w.rows.size(); ++i) {
+    if (!w.row_active[i]) continue;
+    std::vector<Term> terms;
+    terms.reserve(w.rows[i].terms.size());
+    for (const Term& t : w.rows[i].terms) {
+      terms.push_back(
+          {static_cast<std::uint32_t>(new_index[t.var]), t.coef});
+    }
+    reduced.add_constraint(problem.constraint(i).name, std::move(terms),
+                           w.rows[i].sense, w.rows[i].rhs);
+  }
+  out.reduced = std::move(reduced);
+  out.status = PresolveStatus::kReduced;
+  return out;
+}
+
+}  // namespace gs::lp

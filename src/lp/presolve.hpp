@@ -1,0 +1,77 @@
+// Presolve: problem reductions applied before the simplex solver.
+//
+// The follow-on literature identifies preprocessing of the constraint set
+// as the main lever for making the GPU solver practical on real instances;
+// this module implements the classical safe reductions, iterated to a
+// fixpoint:
+//   * drop empty rows (detecting trivial infeasibility)
+//   * convert singleton rows into variable bounds
+//   * substitute out fixed variables (lower == upper)
+//   * pin and remove empty columns (detecting unboundedness *assuming the
+//     remaining problem is feasible* — the standard presolve caveat)
+//   * drop zero coefficients
+//
+// Postsolve maps a reduced-problem optimum back to the original variables.
+// Dual values do not survive presolve; callers needing duals should solve
+// the unreduced problem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace gs::lp {
+
+enum class PresolveStatus {
+  kReduced,     ///< `reduced` is equivalent to the input (modulo postsolve)
+  kInfeasible,  ///< input proven infeasible during reduction
+  kUnbounded,   ///< input proven unbounded, if it is feasible at all
+  kSolved,      ///< all variables eliminated; optimum is objective_offset
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PresolveStatus s) noexcept {
+  switch (s) {
+    case PresolveStatus::kReduced: return "reduced";
+    case PresolveStatus::kInfeasible: return "infeasible";
+    case PresolveStatus::kUnbounded: return "unbounded";
+    case PresolveStatus::kSolved: return "solved";
+  }
+  return "?";
+}
+
+struct PresolveResult {
+  PresolveStatus status = PresolveStatus::kReduced;
+  LpProblem reduced;  ///< valid iff status == kReduced
+
+  /// Constant part of the original objective contributed by eliminated
+  /// variables (original orientation). For status kSolved this is the
+  /// optimal objective value.
+  double objective_offset = 0.0;
+
+  /// Original indices of the variables kept in `reduced` (reduced column j
+  /// is original variable kept_vars[j]).
+  std::vector<std::uint32_t> kept_vars;
+  /// Values assigned to eliminated variables (indexed by original column;
+  /// meaningful only where the variable was eliminated).
+  std::vector<double> eliminated_value;
+
+  std::size_t rows_removed = 0;
+  std::size_t vars_removed = 0;
+  std::size_t passes = 0;
+
+  /// Map a reduced-problem point back to the original variable space.
+  [[nodiscard]] std::vector<double> recover(
+      std::span<const double> x_reduced) const;
+
+  /// Map a reduced-problem objective value back (adds the offset).
+  [[nodiscard]] double recover_objective(double z_reduced) const noexcept {
+    return z_reduced + objective_offset;
+  }
+};
+
+/// Run the reductions to a fixpoint (bounded number of passes).
+[[nodiscard]] PresolveResult presolve(const LpProblem& problem);
+
+}  // namespace gs::lp

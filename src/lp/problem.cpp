@@ -1,0 +1,83 @@
+#include "lp/problem.hpp"
+
+#include <cmath>
+
+namespace gs::lp {
+
+std::uint32_t LpProblem::add_variable(std::string name, double objective_coef,
+                                      double lower, double upper) {
+  GS_CHECK_MSG(lower <= upper, "variable '" + name + "' has empty bound range");
+  GS_CHECK_MSG(!std::isnan(objective_coef), "objective coefficient is NaN");
+  variables_.push_back(
+      Variable{std::move(name), objective_coef, lower, upper});
+  return static_cast<std::uint32_t>(variables_.size() - 1);
+}
+
+std::uint32_t LpProblem::add_constraint(std::string name,
+                                        std::vector<Term> terms,
+                                        RowSense sense, double rhs) {
+  for (const Term& t : terms) {
+    GS_CHECK_MSG(t.var < variables_.size(),
+                 "constraint '" + name + "' references unknown variable");
+    GS_CHECK_MSG(!std::isnan(t.coef), "constraint coefficient is NaN");
+  }
+  GS_CHECK_MSG(!std::isnan(rhs), "constraint rhs is NaN");
+  constraints_.push_back(Constraint{std::move(name), std::move(terms), sense, rhs});
+  return static_cast<std::uint32_t>(constraints_.size() - 1);
+}
+
+std::size_t LpProblem::num_nonzeros() const noexcept {
+  std::size_t count = 0;
+  for (const auto& con : constraints_) {
+    for (const Term& t : con.terms) {
+      if (t.coef != 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+std::uint32_t LpProblem::variable_index(std::string_view name) const {
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    if (variables_[j].name == name) return static_cast<std::uint32_t>(j);
+  }
+  GS_FAIL("unknown variable: '" + std::string(name) + "'");
+}
+
+double LpProblem::objective_value(std::span<const double> x) const {
+  GS_CHECK_MSG(x.size() == variables_.size(), "point dimension mismatch");
+  double z = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    z += variables_[j].objective_coef * x[j];
+  }
+  return z;
+}
+
+bool LpProblem::is_feasible(std::span<const double> x, double tol) const {
+  if (x.size() != variables_.size()) return false;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    if (x[j] < variables_[j].lower - tol) return false;
+    if (x[j] > variables_[j].upper + tol) return false;
+  }
+  for (const auto& con : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : con.terms) lhs += t.coef * x[t.var];
+    // Scale the tolerance by row magnitude so large problems are judged fairly.
+    double scale = std::abs(con.rhs);
+    for (const Term& t : con.terms) scale = std::max(scale, std::abs(t.coef));
+    const double row_tol = tol * std::max(1.0, scale);
+    switch (con.sense) {
+      case RowSense::kLe:
+        if (lhs > con.rhs + row_tol) return false;
+        break;
+      case RowSense::kGe:
+        if (lhs < con.rhs - row_tol) return false;
+        break;
+      case RowSense::kEq:
+        if (std::abs(lhs - con.rhs) > row_tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace gs::lp

@@ -1,0 +1,109 @@
+// General linear-program model: the user-facing problem description.
+//
+//   optimize  c^T x
+//   s.t.      a_i^T x {<=, >=, =} rhs_i     for each constraint i
+//             lower_j <= x_j <= upper_j     for each variable j
+//
+// Bounds may be infinite on either side. This general form is converted to
+// the simplex standard form (equalities, x >= 0, b >= 0) by
+// lp/standard_form.hpp, which also records how to map a standard-form
+// solution back to these variables.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gs::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Objective { kMinimize, kMaximize };
+enum class RowSense { kLe, kGe, kEq };
+
+/// One term `coef * variable` of a linear expression.
+struct Term {
+  std::uint32_t var = 0;
+  double coef = 0.0;
+};
+
+/// One linear constraint.
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;
+  RowSense sense = RowSense::kLe;
+  double rhs = 0.0;
+};
+
+/// One decision variable.
+struct Variable {
+  std::string name;
+  double objective_coef = 0.0;
+  double lower = 0.0;
+  double upper = kInf;
+};
+
+/// A general-form LP. Mutation is append-only; indices are stable.
+class LpProblem {
+ public:
+  explicit LpProblem(Objective objective = Objective::kMinimize,
+                     std::string name = "lp")
+      : objective_(objective), name_(std::move(name)) {}
+
+  [[nodiscard]] Objective objective() const noexcept { return objective_; }
+  void set_objective(Objective o) noexcept { objective_ = o; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Add a variable; returns its index.
+  std::uint32_t add_variable(std::string name, double objective_coef = 0.0,
+                             double lower = 0.0, double upper = kInf);
+
+  /// Add a constraint over existing variables; returns its index.
+  std::uint32_t add_constraint(std::string name, std::vector<Term> terms,
+                               RowSense sense, double rhs);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return variables_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] std::size_t num_nonzeros() const noexcept;
+
+  [[nodiscard]] const Variable& variable(std::size_t j) const {
+    GS_CHECK(j < variables_.size());
+    return variables_[j];
+  }
+  [[nodiscard]] const Constraint& constraint(std::size_t i) const {
+    GS_CHECK(i < constraints_.size());
+    return constraints_[i];
+  }
+  [[nodiscard]] std::span<const Variable> variables() const noexcept {
+    return variables_;
+  }
+  [[nodiscard]] std::span<const Constraint> constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// Index of a variable by name; throws if absent.
+  [[nodiscard]] std::uint32_t variable_index(std::string_view name) const;
+
+  /// Objective value of a candidate point (in this problem's orientation).
+  [[nodiscard]] double objective_value(std::span<const double> x) const;
+
+  /// True if `x` satisfies all constraints and bounds within `tol`.
+  [[nodiscard]] bool is_feasible(std::span<const double> x,
+                                 double tol = 1e-6) const;
+
+ private:
+  Objective objective_;
+  std::string name_;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace gs::lp

@@ -1,0 +1,102 @@
+#include "lp/scaling.hpp"
+
+#include <cmath>
+
+namespace gs::lp {
+
+std::vector<double> ScalingInfo::unscale_point(
+    std::span<const double> y_scaled) const {
+  std::vector<double> y(y_scaled.begin(), y_scaled.end());
+  if (!col_scale.empty()) {
+    GS_CHECK_MSG(col_scale.size() == y.size(), "unscale dimension mismatch");
+    for (std::size_t j = 0; j < y.size(); ++j) y[j] *= col_scale[j];
+  }
+  return y;
+}
+
+ScalingInfo scale_pow10(StandardFormLp& lp) {
+  double min_abs = std::numeric_limits<double>::infinity();
+  double max_abs = 0.0;
+  for (const auto& row : lp.rows) {
+    for (const Term& t : row) {
+      const double a = std::abs(t.coef);
+      if (a == 0.0) continue;
+      min_abs = std::min(min_abs, a);
+      max_abs = std::max(max_abs, a);
+    }
+  }
+  ScalingInfo info;
+  info.row_scale.assign(lp.num_rows(), 1.0);
+  info.col_scale.assign(lp.num_cols(), 1.0);
+  if (max_abs == 0.0) return info;  // empty matrix: nothing to scale
+  const double mean_order = 0.5 * (std::log10(min_abs) + std::log10(max_abs));
+  const int r = static_cast<int>(std::lround(mean_order));
+  if (r == 0) return info;
+  const double s = std::pow(10.0, -r);
+  // Multiplying every row of [A | b] by s leaves the feasible set unchanged,
+  // so the point needs no unscaling; scaling c by s scales the objective.
+  for (auto& row : lp.rows) {
+    for (Term& t : row) t.coef *= s;
+  }
+  for (double& bi : lp.b) bi *= s;
+  for (double& cj : lp.c) cj *= s;
+  for (double& rs : info.row_scale) rs = s;
+  info.objective_scale = s;
+  return info;
+}
+
+ScalingInfo scale_geometric(StandardFormLp& lp) {
+  ScalingInfo info;
+  info.row_scale.assign(lp.num_rows(), 1.0);
+  info.col_scale.assign(lp.num_cols(), 1.0);
+
+  // Row pass: divide each row (and its rhs) by the geometric mean of its
+  // nonzero magnitudes. Pure row scaling keeps the feasible set unchanged.
+  for (std::size_t i = 0; i < lp.num_rows(); ++i) {
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (const Term& t : lp.rows[i]) {
+      if (t.coef != 0.0) {
+        log_sum += std::log(std::abs(t.coef));
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    const double g = std::exp(log_sum / static_cast<double>(count));
+    if (g <= 0.0 || !std::isfinite(g)) continue;
+    const double s = 1.0 / g;
+    for (Term& t : lp.rows[i]) t.coef *= s;
+    lp.b[i] *= s;
+    info.row_scale[i] = s;
+  }
+
+  // Column pass: divide each column by its geometric mean; this substitutes
+  // y_j = y'_j / s_j, so the recovered point must be multiplied back.
+  std::vector<double> col_log(lp.num_cols(), 0.0);
+  std::vector<std::size_t> col_cnt(lp.num_cols(), 0);
+  for (const auto& row : lp.rows) {
+    for (const Term& t : row) {
+      if (t.coef != 0.0) {
+        col_log[t.var] += std::log(std::abs(t.coef));
+        ++col_cnt[t.var];
+      }
+    }
+  }
+  std::vector<double> col_s(lp.num_cols(), 1.0);
+  for (std::size_t j = 0; j < lp.num_cols(); ++j) {
+    if (col_cnt[j] == 0) continue;
+    const double g = std::exp(col_log[j] / static_cast<double>(col_cnt[j]));
+    if (g <= 0.0 || !std::isfinite(g)) continue;
+    col_s[j] = 1.0 / g;
+  }
+  for (auto& row : lp.rows) {
+    for (Term& t : row) t.coef *= col_s[t.var];
+  }
+  for (std::size_t j = 0; j < lp.num_cols(); ++j) {
+    lp.c[j] *= col_s[j];
+    info.col_scale[j] = col_s[j];
+  }
+  return info;
+}
+
+}  // namespace gs::lp

@@ -1,0 +1,45 @@
+// Problem scaling to tame coefficient dynamic range (numerical-stability
+// countermeasure; its effect is measured in the Ext. A/B robustness benches).
+//
+// Two schemes:
+//   * power-of-ten global scaling: shift every coefficient's exponent by the
+//     mean order of magnitude (preserves relative ranges exactly);
+//   * geometric-mean row/column equilibration (Curtis-Reid style, one pass),
+//     the standard preconditioner for simplex bases.
+//
+// Both record enough to map the scaled optimum back to the unscaled problem.
+#pragma once
+
+#include <vector>
+
+#include "lp/standard_form.hpp"
+
+namespace gs::lp {
+
+/// Scale factors applied to a StandardFormLp (in place). Recover the
+/// original solution/objective through the methods below.
+struct ScalingInfo {
+  std::vector<double> row_scale;  ///< row i of A and b_i multiplied by this
+  std::vector<double> col_scale;  ///< column j of A and c_j multiplied by this
+  double objective_scale = 1.0;   ///< c multiplied by this on top of col scaling
+
+  /// Map a scaled standard-form point back: y_j = y_scaled_j * col_scale_j.
+  [[nodiscard]] std::vector<double> unscale_point(
+      std::span<const double> y_scaled) const;
+
+  /// Map a scaled standard-form objective back.
+  [[nodiscard]] double unscale_objective(double z_scaled) const noexcept {
+    return z_scaled / objective_scale;
+  }
+};
+
+/// Global power-of-ten scaling: multiplies A, b and c by 10^-r where r is
+/// the rounded mean order of magnitude of the nonzero |coefficients| of A.
+/// Row scaling keeps Ax=b equivalent, so only the objective needs unscaling.
+ScalingInfo scale_pow10(StandardFormLp& lp);
+
+/// One-pass geometric-mean equilibration: each row then each column of A is
+/// divided by the geometric mean of its nonzero magnitudes.
+ScalingInfo scale_geometric(StandardFormLp& lp);
+
+}  // namespace gs::lp

@@ -1,0 +1,241 @@
+#include "lp/standard_form.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gs::lp {
+
+namespace {
+
+/// Working row before slack/surplus augmentation.
+struct WorkRow {
+  std::vector<Term> terms;
+  RowSense sense;
+  double rhs;
+  std::string name;
+};
+
+void sort_and_merge(std::vector<Term>& terms) {
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::size_t w = 0;
+  for (std::size_t k = 0; k < terms.size(); ++k) {
+    if (w > 0 && terms[w - 1].var == terms[k].var) {
+      terms[w - 1].coef += terms[k].coef;
+    } else {
+      terms[w++] = terms[k];
+    }
+  }
+  terms.resize(w);
+  std::erase_if(terms, [](const Term& t) { return t.coef == 0.0; });
+}
+
+}  // namespace
+
+std::size_t StandardFormLp::num_nonzeros() const noexcept {
+  std::size_t count = 0;
+  for (const auto& row : rows) count += row.size();
+  return count;
+}
+
+vblas::Matrix<double> StandardFormLp::dense_a() const {
+  vblas::Matrix<double> a(num_rows(), num_cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const Term& t : rows[i]) a(i, t.var) = t.coef;
+  }
+  return a;
+}
+
+sparse::CsrMatrix<double> StandardFormLp::csr_a() const {
+  std::vector<std::uint32_t> offsets(1, 0);
+  std::vector<std::uint32_t> cols;
+  std::vector<double> vals;
+  cols.reserve(num_nonzeros());
+  vals.reserve(num_nonzeros());
+  for (const auto& row : rows) {
+    for (const Term& t : row) {
+      cols.push_back(t.var);
+      vals.push_back(t.coef);
+    }
+    offsets.push_back(static_cast<std::uint32_t>(vals.size()));
+  }
+  return sparse::CsrMatrix<double>(num_rows(), num_cols(), std::move(offsets),
+                                   std::move(cols), std::move(vals));
+}
+
+std::vector<double> StandardFormLp::recover_duals(
+    std::span<const double> pi) const {
+  GS_CHECK_MSG(pi.size() == num_rows(), "recover_duals dimension mismatch");
+  std::vector<double> duals(num_original_rows, 0.0);
+  for (std::size_t i = 0; i < num_original_rows; ++i) {
+    // pi_i is d z_std / d b_std_i. A flipped row negated its rhs; a negated
+    // objective (maximize) negates the sensitivity again.
+    double y = pi[i];
+    if (row_flipped[i]) y = -y;
+    if (negated) y = -y;
+    duals[i] = y;
+  }
+  return duals;
+}
+
+std::vector<double> StandardFormLp::recover(std::span<const double> y) const {
+  GS_CHECK_MSG(y.size() == num_cols(), "recover: point dimension mismatch");
+  std::vector<double> x(var_maps.size(), 0.0);
+  for (std::size_t j = 0; j < var_maps.size(); ++j) {
+    const VarMap& vm = var_maps[j];
+    switch (vm.kind) {
+      case VarMap::Kind::kDirect:
+        x[j] = y[vm.col];
+        break;
+      case VarMap::Kind::kShifted:
+        x[j] = y[vm.col] + vm.shift;
+        break;
+      case VarMap::Kind::kNegated:
+        x[j] = vm.shift - y[vm.col];
+        break;
+      case VarMap::Kind::kFree:
+        x[j] = y[vm.col] - y[vm.col_neg];
+        break;
+    }
+  }
+  return x;
+}
+
+StandardFormLp to_standard_form(const LpProblem& problem) {
+  StandardFormLp out;
+  out.negated = problem.objective() == Objective::kMaximize;
+
+  // ---- Pass 1: map variables to nonnegative columns. -----------------
+  // `col_of_var[j]` holds the primary column of original variable j;
+  // substitution kind + shift are in var_maps. Extra bound rows collected
+  // for variables with two finite bounds.
+  const double sign = out.negated ? -1.0 : 1.0;
+  out.var_maps.resize(problem.num_variables());
+  struct BoundRow {
+    std::uint32_t col;
+    double rhs;
+    std::string name;
+  };
+  std::vector<BoundRow> bound_rows;
+
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    const Variable& v = problem.variable(j);
+    auto& vm = out.var_maps[j];
+    const bool lo_finite = std::isfinite(v.lower);
+    const bool up_finite = std::isfinite(v.upper);
+    if (lo_finite) {
+      vm.col = static_cast<std::uint32_t>(out.c.size());
+      vm.shift = v.lower;
+      vm.kind = v.lower == 0.0 ? StandardFormLp::VarMap::Kind::kDirect
+                               : StandardFormLp::VarMap::Kind::kShifted;
+      out.c.push_back(sign * v.objective_coef);
+      out.col_names.push_back(v.name);
+      out.objective_offset += sign * v.objective_coef * v.lower;
+      if (up_finite) {
+        bound_rows.push_back({vm.col, v.upper - v.lower, v.name + "_ub"});
+      }
+    } else if (up_finite) {
+      // x <= u with no lower bound: y = u - x.
+      vm.col = static_cast<std::uint32_t>(out.c.size());
+      vm.shift = v.upper;
+      vm.kind = StandardFormLp::VarMap::Kind::kNegated;
+      out.c.push_back(-sign * v.objective_coef);
+      out.col_names.push_back(v.name + "_neg");
+      out.objective_offset += sign * v.objective_coef * v.upper;
+    } else {
+      // Free: x = y+ - y-.
+      vm.kind = StandardFormLp::VarMap::Kind::kFree;
+      vm.col = static_cast<std::uint32_t>(out.c.size());
+      out.c.push_back(sign * v.objective_coef);
+      out.col_names.push_back(v.name + "_pos");
+      vm.col_neg = static_cast<std::uint32_t>(out.c.size());
+      out.c.push_back(-sign * v.objective_coef);
+      out.col_names.push_back(v.name + "_neg");
+    }
+  }
+  const std::size_t num_structural = out.c.size();
+
+  // ---- Pass 2: rewrite constraint rows in the new columns. -----------
+  std::vector<WorkRow> work;
+  work.reserve(problem.num_constraints() + bound_rows.size());
+  out.original_rhs.reserve(problem.num_constraints());
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Constraint& con = problem.constraint(i);
+    out.original_rhs.push_back(con.rhs);
+    WorkRow row;
+    row.name = con.name;
+    row.sense = con.sense;
+    row.rhs = con.rhs;
+    for (const Term& t : con.terms) {
+      const auto& vm = out.var_maps[t.var];
+      switch (vm.kind) {
+        case StandardFormLp::VarMap::Kind::kDirect:
+          row.terms.push_back({vm.col, t.coef});
+          break;
+        case StandardFormLp::VarMap::Kind::kShifted:
+          // a*x = a*y + a*l -> move the constant to the rhs.
+          row.terms.push_back({vm.col, t.coef});
+          row.rhs -= t.coef * vm.shift;
+          break;
+        case StandardFormLp::VarMap::Kind::kNegated:
+          // a*x = a*u - a*y.
+          row.terms.push_back({vm.col, -t.coef});
+          row.rhs -= t.coef * vm.shift;
+          break;
+        case StandardFormLp::VarMap::Kind::kFree:
+          row.terms.push_back({vm.col, t.coef});
+          row.terms.push_back({vm.col_neg, -t.coef});
+          break;
+      }
+    }
+    sort_and_merge(row.terms);
+    work.push_back(std::move(row));
+  }
+  for (const BoundRow& br : bound_rows) {
+    work.push_back(WorkRow{{Term{br.col, 1.0}}, RowSense::kLe, br.rhs, br.name});
+  }
+
+  // ---- Pass 3: enforce b >= 0, then append slack/surplus columns. ----
+  out.num_original_rows = problem.num_constraints();
+  out.row_flipped.assign(work.size(), false);
+  std::size_t num_slack = 0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    WorkRow& row = work[i];
+    if (row.rhs < 0.0) {
+      for (Term& t : row.terms) t.coef = -t.coef;
+      row.rhs = -row.rhs;
+      out.row_flipped[i] = true;
+      if (row.sense == RowSense::kLe) {
+        row.sense = RowSense::kGe;
+      } else if (row.sense == RowSense::kGe) {
+        row.sense = RowSense::kLe;
+      }
+    }
+    if (row.sense != RowSense::kEq) ++num_slack;
+  }
+  out.c.reserve(out.c.size() + num_slack);
+  out.rows.reserve(work.size());
+  out.b.reserve(work.size());
+  out.slack_col.assign(work.size(), -1);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    WorkRow& row = work[i];
+    if (row.sense == RowSense::kLe) {
+      const auto col = static_cast<std::uint32_t>(out.c.size());
+      row.terms.push_back({col, 1.0});
+      out.c.push_back(0.0);
+      out.col_names.push_back("slack_" + std::to_string(i));
+      out.slack_col[i] = col;
+    } else if (row.sense == RowSense::kGe) {
+      const auto col = static_cast<std::uint32_t>(out.c.size());
+      row.terms.push_back({col, -1.0});
+      out.c.push_back(0.0);
+      out.col_names.push_back("surplus_" + std::to_string(i));
+    }
+    out.rows.push_back(std::move(row.terms));
+    out.b.push_back(row.rhs);
+  }
+  (void)num_structural;
+  return out;
+}
+
+}  // namespace gs::lp

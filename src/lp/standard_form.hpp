@@ -1,0 +1,99 @@
+// Conversion of a general LP to simplex standard form, with back-mapping.
+//
+// Standard form:   min c^T y   s.t.  A y = b,  y >= 0,  b >= 0
+//
+// produced by the classical pipeline (the one the paper's preprocessing
+// implements):
+//   * maximize  -> negate the objective (recorded, un-negated on recovery)
+//   * x >= l    -> substitute y = x - l
+//   * x <= u (no lower bound) -> substitute y = u - x
+//   * l <= x <= u -> shift to [0, u-l] and append the row  y <= u - l
+//   * free x    -> split  x = y+ - y-
+//   * negative rhs -> multiply the row by -1 and flip its sense
+//   * '<=' rows gain a +1 slack column, '>=' rows a -1 surplus column
+//
+// Artificial variables are NOT added here; each solver appends them for its
+// phase-1 as needed. Rows whose slack can seed a feasible crash basis are
+// recorded in `slack_col`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "sparse/csr.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::lp {
+
+/// The standard-form system plus everything needed to translate a
+/// standard-form optimum back to the original variables and objective.
+struct StandardFormLp {
+  /// Sparse rows of A (each row sorted by column).
+  std::vector<std::vector<Term>> rows;
+  std::vector<double> b;  ///< all entries >= 0
+  std::vector<double> c;  ///< minimize orientation
+  std::vector<std::string> col_names;
+
+  /// Constant added to c^T y to obtain the *minimize-orientation* objective
+  /// of the original problem (from bound shifts).
+  double objective_offset = 0.0;
+  /// True if the original problem was a maximization (objective negated).
+  bool negated = false;
+
+  /// Per row: column index of a +1 slack usable in a crash basis, or -1.
+  std::vector<std::int64_t> slack_col;
+
+  /// Number of rows that correspond to original constraints (bound rows for
+  /// doubly-bounded variables are appended after them).
+  std::size_t num_original_rows = 0;
+  /// The untransformed rhs of each original constraint (for reporting
+  /// sensitivity ranges in the caller's units).
+  std::vector<double> original_rhs;
+  /// Per row: true if the row was multiplied by -1 to make its rhs
+  /// nonnegative (flips the sign of that row's dual value).
+  std::vector<bool> row_flipped;
+
+  /// How each original variable is reconstructed from standard-form columns.
+  struct VarMap {
+    enum class Kind { kDirect, kShifted, kNegated, kFree };
+    Kind kind = Kind::kDirect;
+    std::uint32_t col = 0;      ///< primary column
+    std::uint32_t col_neg = 0;  ///< negative part (kFree only)
+    double shift = 0.0;         ///< l (kShifted) or u (kNegated)
+  };
+  std::vector<VarMap> var_maps;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return c.size(); }
+  [[nodiscard]] std::size_t num_nonzeros() const noexcept;
+
+  /// Dense A (m x n). For the dense solver path.
+  [[nodiscard]] vblas::Matrix<double> dense_a() const;
+  /// CSR A. For the sparse solver path.
+  [[nodiscard]] sparse::CsrMatrix<double> csr_a() const;
+
+  /// Map a standard-form point y (length num_cols()) back to original
+  /// variables (length var_maps.size()).
+  [[nodiscard]] std::vector<double> recover(std::span<const double> y) const;
+
+  /// Map the standard-form simplex multipliers pi (length num_rows()) back
+  /// to dual values of the original constraints (length
+  /// num_original_rows): y_i = d z_original / d rhs_i.
+  [[nodiscard]] std::vector<double> recover_duals(
+      std::span<const double> pi) const;
+
+  /// Map a standard-form objective value back to the original orientation.
+  [[nodiscard]] double original_objective(double z_std) const noexcept {
+    const double z_min = z_std + objective_offset;
+    return negated ? -z_min : z_min;
+  }
+};
+
+/// Run the full conversion pipeline. Throws gs::Error on malformed input
+/// (e.g. a variable with lower > upper is rejected at model build time).
+[[nodiscard]] StandardFormLp to_standard_form(const LpProblem& problem);
+
+}  // namespace gs::lp

@@ -1,0 +1,217 @@
+// Constraint-matrix access policies for the device revised simplex engine.
+//
+// The engine is generic over how the (augmented, transposed) constraint
+// matrix A^T is stored on the device:
+//   * DenseAt  — dense n_aug x m row-major (the paper's layout), and
+//   * SparseAt — CSR (the follow-on sparse variant, Ext. C).
+// A policy supplies the three kernels whose cost depends on the storage:
+// the reduced-cost sweep, FTRAN's B^-1 a_q product, and the pivot-row
+// product used by Devex pricing and artificial drive-out.
+#pragma once
+
+#include <cstdint>
+
+#include "simplex/phase_setup.hpp"
+#include "sparse/device_csr.hpp"
+#include "vblas/containers.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace gs::simplex {
+
+/// Dense A^T policy: contiguous column reads, BLAS-2-shaped kernels.
+template <typename Real>
+class DenseAt {
+ public:
+  DenseAt(vgpu::Device& dev, const AugmentedLp& aug)
+      : m_(aug.m), n_aug_(aug.n_aug), at_(dev, host_at(aug)) {}
+
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t n_aug() const noexcept { return n_aug_; }
+  [[nodiscard]] vgpu::Device& device() const noexcept { return at_.device(); }
+
+  /// d_j = mask_j ? c_j - a_j . pi : 0  for every column j.
+  void price(const vgpu::DeviceBuffer<Real>& pi,
+             const vgpu::DeviceBuffer<Real>& c,
+             const vgpu::DeviceBuffer<Real>& mask,
+             vgpu::DeviceBuffer<Real>& d) const {
+    column_products("price_reduced", pi, &c, &mask, d);
+  }
+
+  /// out_j = a_j . y for every column j (Devex pivot row / drive-out row).
+  void pivot_row_product(const vgpu::DeviceBuffer<Real>& y,
+                         vgpu::DeviceBuffer<Real>& out) const {
+    column_products("pivot_row_product", y, nullptr, nullptr, out);
+  }
+
+  /// alpha = B^-1 a_q (dense gemv against the contiguous column a_q).
+  void ftran_alpha(const vblas::DeviceMatrix<Real>& binv, std::size_t q,
+                   vgpu::DeviceBuffer<Real>& alpha) const {
+    const std::size_t m = m_;
+    auto at = at_.device_span();
+    auto bs = binv.device_span();
+    auto as = alpha.device_span();
+    device().launch_blocks(
+        "ftran", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(m),
+         double((m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          const Real* aq = at.data() + q * m;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Real* row = bs.data() + i * m;
+            Real acc{0};
+            for (std::size_t k = 0; k < m; ++k) acc += row[k] * aq[k];
+            as[i] = acc;
+          }
+        });
+  }
+
+ private:
+  [[nodiscard]] static vblas::Matrix<Real> host_at(const AugmentedLp& aug) {
+    const vblas::Matrix<double> at64 = aug.dense_at();
+    vblas::Matrix<Real> out(at64.rows(), at64.cols());
+    for (std::size_t i = 0; i < at64.size(); ++i) {
+      out.flat()[i] = static_cast<Real>(at64.flat()[i]);
+    }
+    return out;
+  }
+
+  /// Shared sweep: out_j = [c_j -] a_j . y, optionally masked.
+  void column_products(std::string_view name,
+                       const vgpu::DeviceBuffer<Real>& y,
+                       const vgpu::DeviceBuffer<Real>* c,
+                       const vgpu::DeviceBuffer<Real>* mask,
+                       vgpu::DeviceBuffer<Real>& out) const {
+    const std::size_t m = m_;
+    auto at = at_.device_span();
+    auto ys = y.device_span();
+    auto os = out.device_span();
+    auto cs = c ? c->device_span() : std::span<const Real>{};
+    auto ms = mask ? mask->device_span() : std::span<const Real>{};
+    device().launch_blocks(
+        name, n_aug_, vgpu::Device::kBlockSize,
+        {2.0 * double(n_aug_) * double(m),
+         double((n_aug_ * m + 3 * n_aug_ + m) * sizeof(Real)), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            if (mask && ms[j] == Real{0}) {
+              os[j] = Real{0};
+              continue;
+            }
+            const Real* col = at.data() + j * m;
+            Real acc{0};
+            for (std::size_t i = 0; i < m; ++i) acc += col[i] * ys[i];
+            os[j] = c ? cs[j] - acc : acc;
+          }
+        });
+  }
+
+  std::size_t m_, n_aug_;
+  vblas::DeviceMatrix<Real> at_;
+};
+
+/// CSR A^T policy: kernel cost scales with nnz instead of n_aug * m.
+template <typename Real>
+class SparseAt {
+ public:
+  SparseAt(vgpu::Device& dev, const AugmentedLp& aug)
+      : m_(aug.m), n_aug_(aug.n_aug), at_(dev, host_csr(aug)) {}
+
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t n_aug() const noexcept { return n_aug_; }
+  [[nodiscard]] vgpu::Device& device() const noexcept { return at_.device(); }
+
+  void price(const vgpu::DeviceBuffer<Real>& pi,
+             const vgpu::DeviceBuffer<Real>& c,
+             const vgpu::DeviceBuffer<Real>& mask,
+             vgpu::DeviceBuffer<Real>& d) const {
+    column_products("price_reduced", pi, &c, &mask, d);
+  }
+
+  void pivot_row_product(const vgpu::DeviceBuffer<Real>& y,
+                         vgpu::DeviceBuffer<Real>& out) const {
+    column_products("pivot_row_product", y, nullptr, nullptr, out);
+  }
+
+  /// alpha_i = sum_k a_q[k] * binv(i, col_k): sparse column against the
+  /// dense inverse, cost proportional to m * nnz(a_q).
+  void ftran_alpha(const vblas::DeviceMatrix<Real>& binv, std::size_t q,
+                   vgpu::DeviceBuffer<Real>& alpha) const {
+    const std::size_t m = m_;
+    auto offs = at_.row_offsets().device_span();
+    auto cols = at_.col_indices().device_span();
+    auto vals = at_.values().device_span();
+    auto bs = binv.device_span();
+    auto as = alpha.device_span();
+    const std::size_t nnz_q = offs[q + 1] - offs[q];
+    device().launch_blocks(
+        "ftran", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(nnz_q),
+         double(m * nnz_q * sizeof(Real) +
+                nnz_q * (sizeof(Real) + sizeof(std::uint32_t)) +
+                m * sizeof(Real)),
+         sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Real* row = bs.data() + i * m;
+            Real acc{0};
+            for (std::uint32_t k = offs[q]; k < offs[q + 1]; ++k) {
+              acc += vals[k] * row[cols[k]];
+            }
+            as[i] = acc;
+          }
+        });
+  }
+
+ private:
+  [[nodiscard]] static sparse::CsrMatrix<Real> host_csr(
+      const AugmentedLp& aug) {
+    const sparse::CsrMatrix<double> at64 = aug.csr_at();
+    std::vector<Real> vals(at64.values().size());
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      vals[k] = static_cast<Real>(at64.values()[k]);
+    }
+    return sparse::CsrMatrix<Real>(at64.rows(), at64.cols(),
+                                   at64.row_offsets(), at64.col_indices(),
+                                   std::move(vals));
+  }
+
+  void column_products(std::string_view name,
+                       const vgpu::DeviceBuffer<Real>& y,
+                       const vgpu::DeviceBuffer<Real>* c,
+                       const vgpu::DeviceBuffer<Real>* mask,
+                       vgpu::DeviceBuffer<Real>& out) const {
+    auto offs = at_.row_offsets().device_span();
+    auto cols = at_.col_indices().device_span();
+    auto vals = at_.values().device_span();
+    auto ys = y.device_span();
+    auto os = out.device_span();
+    auto cs = c ? c->device_span() : std::span<const Real>{};
+    auto ms = mask ? mask->device_span() : std::span<const Real>{};
+    const double nnz = static_cast<double>(at_.nnz());
+    device().launch_blocks(
+        name, n_aug_, vgpu::Device::kBlockSize,
+        {2.0 * nnz,
+         nnz * double(2 * sizeof(Real) + sizeof(std::uint32_t)) +
+             double(3 * n_aug_ * sizeof(Real)),
+         sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            if (mask && ms[j] == Real{0}) {
+              os[j] = Real{0};
+              continue;
+            }
+            Real acc{0};
+            for (std::uint32_t k = offs[j]; k < offs[j + 1]; ++k) {
+              acc += vals[k] * ys[cols[k]];
+            }
+            os[j] = c ? cs[j] - acc : acc;
+          }
+        });
+  }
+
+  std::size_t m_, n_aug_;
+  sparse::DeviceCsr<Real> at_;
+};
+
+}  // namespace gs::simplex

@@ -1,0 +1,368 @@
+// Batched revised simplex: K same-shape LPs advance in lock step with every
+// per-iteration operation fused into one wide kernel (K*m or K*n threads).
+//
+// Motivation (the paper's own small-problem weakness): below the crossover
+// size a single LP cannot occupy the device — launch latency and idle SMs
+// dominate. Batching K independent instances multiplies the thread count
+// per launch and amortizes both the launch overhead and the per-iteration
+// PCIe scalar traffic across the batch, which is how later GPU LP systems
+// made small problems profitable. Ext. E quantifies the effect.
+//
+// Scope (deliberately the paper's synthetic setting): every problem must be
+// "slack-startable" — its standard form gives every row a crash slack (pure
+// '<=' rows, b >= 0), so no phase 1 is needed — and all problems must share
+// the same standard-form dimensions. Pricing is Dantzig; the basis inverse
+// is explicit. Problems that finish early go inactive; their lanes idle
+// (and are still paid for) until the whole batch terminates.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/standard_form.hpp"
+#include "simplex/phase_setup.hpp"
+#include "simplex/types.hpp"
+#include "support/timer.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace gs::simplex {
+
+template <typename Real>
+class BatchRevisedSimplex {
+ public:
+  explicit BatchRevisedSimplex(vgpu::Device& device, SolverOptions options = {})
+      : dev_(device), opt_(options) {}
+
+  /// Solve all problems; result k corresponds to problems[k]. Throws
+  /// gs::Error if any problem needs phase 1 or the shapes differ.
+  [[nodiscard]] std::vector<SolveResult> solve(
+      std::span<const lp::LpProblem> problems) {
+    GS_CHECK_MSG(!problems.empty(), "empty batch");
+    WallTimer wall;
+    dev_.reset_stats();
+
+    // ---- Convert and validate the batch. ----
+    const std::size_t batch = problems.size();
+    std::vector<lp::StandardFormLp> sfs;
+    sfs.reserve(batch);
+    std::vector<AugmentedLp> augs;
+    augs.reserve(batch);
+    for (const auto& problem : problems) {
+      sfs.push_back(lp::to_standard_form(problem));
+      augs.push_back(augment(sfs.back()));
+      GS_CHECK_MSG(augs.back().num_artificial == 0,
+                   "batch solver requires slack-startable problems "
+                   "(pure '<=' rows)");
+      GS_CHECK_MSG(augs.back().m == augs.front().m &&
+                       augs.back().n_aug == augs.front().n_aug,
+                   "batch solver requires identical problem shapes");
+    }
+    const std::size_t m = augs.front().m;
+    const std::size_t n = augs.front().n_aug;
+
+    // ---- Flatten batch state into device arrays. ----
+    // at[k*n*m + j*m + i] = A^T_k(j, i); binv[k*m*m + i*m + j]; beta[k*m+i].
+    std::vector<Real> at_h(batch * n * m), binv_h(batch * m * m),
+        beta_h(batch * m), c_h(batch * n), cb_h(batch * m, Real{0}),
+        mask_h(batch * n);
+    std::vector<std::uint32_t> basic_h(batch * m);
+    for (std::size_t k = 0; k < batch; ++k) {
+      const auto at64 = augs[k].dense_at();
+      for (std::size_t e = 0; e < n * m; ++e) {
+        at_h[k * n * m + e] = static_cast<Real>(at64.flat()[e]);
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        binv_h[k * m * m + i * m + i] =
+            static_cast<Real>(augs[k].binv_diag[i]);
+        beta_h[k * m + i] = static_cast<Real>(augs[k].beta_init[i]);
+        basic_h[k * m + i] = augs[k].basic[i];
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        c_h[k * n + j] = static_cast<Real>(augs[k].c_phase2[j]);
+        mask_h[k * n + j] = Real{1};
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        mask_h[k * n + augs[k].basic[i]] = Real{0};
+      }
+    }
+    vgpu::DeviceBuffer<Real> at(dev_, at_h), binv(dev_, binv_h),
+        beta(dev_, beta_h), c(dev_, c_h), cb(dev_, cb_h), mask(dev_, mask_h);
+    vgpu::DeviceBuffer<Real> pi(dev_, batch * m), d(dev_, batch * n),
+        alpha(dev_, batch * m), prow(dev_, batch * m);
+    // Per-problem selection outputs (scalar lanes).
+    vgpu::DeviceBuffer<Real> sel_d(dev_, batch), sel_theta(dev_, batch),
+        sel_alpha_p(dev_, batch);
+    vgpu::DeviceBuffer<std::uint32_t> sel_q(dev_, batch), sel_p(dev_, batch);
+
+    std::vector<char> active(batch, 1);
+    std::vector<SolveResult> results(batch);
+    std::vector<std::size_t> iters(batch, 0);
+    std::size_t n_active = batch;
+
+    const Real opt_tol = static_cast<Real>(opt_.opt_tol);
+    const Real pivot_tol = static_cast<Real>(opt_.pivot_tol);
+    constexpr Real kInf = std::numeric_limits<Real>::infinity();
+    constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+    auto at_s = at.device_span();
+    auto binv_s = binv.device_span();
+    auto beta_s = beta.device_span();
+    auto c_s = c.device_span();
+    auto cb_s = cb.device_span();
+    auto mask_s = mask.device_span();
+    auto pi_s = pi.device_span();
+    auto d_s = d.device_span();
+    auto alpha_s = alpha.device_span();
+    auto prow_s = prow.device_span();
+    auto seld_s = sel_d.device_span();
+    auto selth_s = sel_theta.device_span();
+    auto selap_s = sel_alpha_p.device_span();
+    auto selq_s = sel_q.device_span();
+    auto selp_s = sel_p.device_span();
+
+    // Host mirror of the active mask, uploaded once per status change; the
+    // kernels read it through this device buffer.
+    vgpu::DeviceBuffer<Real> active_dev(dev_, batch);
+    auto upload_active = [&] {
+      std::vector<Real> a(batch);
+      for (std::size_t k = 0; k < batch; ++k) a[k] = active[k] ? Real{1} : Real{0};
+      active_dev.upload(a);
+    };
+    upload_active();
+    auto act_s = active_dev.device_span();
+
+    for (std::size_t iter = 0; iter < opt_.max_iterations && n_active > 0;
+         ++iter) {
+      // -- BTRAN: pi_k = (B_k^-1)^T cB_k, fused over K*m lanes. --
+      dev_.launch_blocks(
+          "batch_btran", batch * m, vgpu::Device::kBlockSize,
+          {2.0 * double(batch) * double(m) * double(m),
+           double(batch * (m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t g = lo; g < hi; ++g) {
+              const std::size_t k = g / m, j = g % m;
+              if (act_s[k] == Real{0}) continue;
+              Real acc{0};
+              for (std::size_t i = 0; i < m; ++i) {
+                acc += cb_s[k * m + i] * binv_s[k * m * m + i * m + j];
+              }
+              pi_s[g] = acc;
+            }
+          });
+      // -- Pricing: d over K*n lanes. --
+      dev_.launch_blocks(
+          "batch_price", batch * n, vgpu::Device::kBlockSize,
+          {2.0 * double(batch) * double(n) * double(m),
+           double(batch * (n * m + 3 * n) * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t g = lo; g < hi; ++g) {
+              const std::size_t k = g / n, j = g % n;
+              if (act_s[k] == Real{0} || mask_s[g] == Real{0}) {
+                d_s[g] = Real{0};
+                continue;
+              }
+              const Real* col = at_s.data() + k * n * m + j * m;
+              Real acc{0};
+              for (std::size_t i = 0; i < m; ++i) acc += col[i] * pi_s[k * m + i];
+              d_s[g] = c_s[g] - acc;
+            }
+          });
+      // -- Entering selection: one lane per problem (segmented argmin). --
+      dev_.launch_blocks(
+          "batch_select_entering", batch, vgpu::Device::kBlockSize,
+          {double(batch) * double(n), double(batch * n * sizeof(Real)),
+           sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+              if (act_s[k] == Real{0}) continue;
+              std::uint32_t best = kNone;
+              Real best_d = -opt_tol;
+              for (std::size_t j = 0; j < n; ++j) {
+                if (d_s[k * n + j] < best_d) {
+                  best_d = d_s[k * n + j];
+                  best = static_cast<std::uint32_t>(j);
+                }
+              }
+              selq_s[k] = best;
+              seld_s[k] = best_d;
+            }
+          });
+      // -- FTRAN + ratio test + leaving selection, fused per problem. --
+      dev_.launch_blocks(
+          "batch_ftran", batch * m, vgpu::Device::kBlockSize,
+          {2.0 * double(batch) * double(m) * double(m),
+           double(batch * (m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t g = lo; g < hi; ++g) {
+              const std::size_t k = g / m, i = g % m;
+              if (act_s[k] == Real{0} || selq_s[k] == kNone) continue;
+              const Real* aq = at_s.data() + k * n * m + selq_s[k] * m;
+              const Real* row = binv_s.data() + k * m * m + i * m;
+              Real acc{0};
+              for (std::size_t t = 0; t < m; ++t) acc += row[t] * aq[t];
+              alpha_s[g] = acc;
+            }
+          });
+      dev_.launch_blocks(
+          "batch_ratio_select", batch, vgpu::Device::kBlockSize,
+          {2.0 * double(batch) * double(m),
+           double(batch * 2 * m * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+              if (act_s[k] == Real{0} || selq_s[k] == kNone) continue;
+              std::uint32_t p = kNone;
+              Real theta = kInf;
+              for (std::size_t i = 0; i < m; ++i) {
+                const Real a = alpha_s[k * m + i];
+                if (a > pivot_tol) {
+                  const Real r = beta_s[k * m + i] / a;
+                  if (r < theta) {
+                    theta = r;
+                    p = static_cast<std::uint32_t>(i);
+                  }
+                }
+              }
+              selp_s[k] = p;
+              selth_s[k] = theta;
+              selap_s[k] = p == kNone ? Real{0} : alpha_s[k * m + p];
+            }
+          });
+      // -- One readback for the whole batch (amortized PCIe). --
+      const std::vector<std::uint32_t> q_h = sel_q.to_host();
+      const std::vector<std::uint32_t> p_h = sel_p.to_host();
+      const std::vector<Real> theta_h = sel_theta.to_host();
+
+      // -- Update kernels for the problems that pivot this round. --
+      dev_.launch_blocks(
+          "batch_update_beta", batch * m, vgpu::Device::kBlockSize,
+          {2.0 * double(batch) * double(m),
+           double(batch * 3 * m * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t g = lo; g < hi; ++g) {
+              const std::size_t k = g / m, i = g % m;
+              if (act_s[k] == Real{0} || selq_s[k] == kNone ||
+                  selp_s[k] == kNone) {
+                continue;
+              }
+              const Real theta = selth_s[k];
+              Real v = (i == selp_s[k]) ? theta
+                                        : beta_s[g] - theta * alpha_s[g];
+              beta_s[g] = v < Real{0} ? Real{0} : v;
+            }
+          });
+      dev_.launch_blocks(
+          "batch_save_pivot_row", batch * m, vgpu::Device::kBlockSize,
+          {0.0, double(batch * 2 * m * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t g = lo; g < hi; ++g) {
+              const std::size_t k = g / m, j = g % m;
+              if (act_s[k] == Real{0} || selq_s[k] == kNone ||
+                  selp_s[k] == kNone) {
+                continue;
+              }
+              prow_s[g] = binv_s[k * m * m + selp_s[k] * m + j];
+            }
+          });
+      dev_.launch_blocks(
+          "batch_update_binv", batch * m, vgpu::Device::kBlockSize,
+          {2.0 * double(batch) * double(m) * double(m),
+           double(batch * (2 * m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t g = lo; g < hi; ++g) {
+              const std::size_t k = g / m, i = g % m;
+              if (act_s[k] == Real{0} || selq_s[k] == kNone ||
+                  selp_s[k] == kNone) {
+                continue;
+              }
+              const std::size_t p = selp_s[k];
+              const Real ap = selap_s[k];
+              Real* row = binv_s.data() + k * m * m + i * m;
+              const Real* saved = prow_s.data() + k * m;
+              if (i == p) {
+                const Real inv = Real{1} / ap;
+                for (std::size_t j = 0; j < m; ++j) row[j] = saved[j] * inv;
+              } else {
+                const Real f = alpha_s[k * m + i] / ap;
+                if (f == Real{0}) continue;
+                for (std::size_t j = 0; j < m; ++j) row[j] -= f * saved[j];
+              }
+            }
+          });
+
+      // -- Host bookkeeping: statuses, basis swaps, masks, cb. --
+      bool mask_dirty = false;
+      std::vector<Real> cb_updates;
+      for (std::size_t k = 0; k < batch; ++k) {
+        if (!active[k]) continue;
+        if (q_h[k] == kNone) {
+          finish_problem(results[k], k, sfs[k], augs[k], basic_h, beta, m,
+                         SolveStatus::kOptimal, iters[k]);
+          active[k] = 0;
+          --n_active;
+          mask_dirty = true;
+          continue;
+        }
+        if (p_h[k] == kNone) {
+          results[k].status = SolveStatus::kUnbounded;
+          results[k].stats.iterations = iters[k];
+          active[k] = 0;
+          --n_active;
+          mask_dirty = true;
+          continue;
+        }
+        (void)theta_h;
+        ++iters[k];
+        const std::uint32_t leaving = basic_h[k * m + p_h[k]];
+        basic_h[k * m + p_h[k]] = q_h[k];
+        mask.upload_value(k * n + q_h[k], Real{0});
+        mask.upload_value(k * n + leaving, Real{1});
+        cb.upload_value(k * m + p_h[k],
+                        static_cast<Real>(augs[k].c_phase2[q_h[k]]));
+      }
+      if (mask_dirty) upload_active();
+    }
+
+    // Problems still active hit the iteration limit.
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (active[k]) {
+        results[k].status = SolveStatus::kIterationLimit;
+        results[k].stats.iterations = iters[k];
+      }
+      results[k].stats.wall_seconds = wall.seconds();
+      results[k].stats.sim_seconds = dev_.sim_seconds();
+      results[k].stats.device_stats = dev_.stats();
+    }
+    return results;
+  }
+
+ private:
+  /// Extract one finished problem's solution from the flattened state.
+  void finish_problem(SolveResult& result, std::size_t k,
+                      const lp::StandardFormLp& sf, const AugmentedLp& aug,
+                      const std::vector<std::uint32_t>& basic_h,
+                      const vgpu::DeviceBuffer<Real>& beta, std::size_t m,
+                      SolveStatus status, std::size_t iterations) {
+    result.status = status;
+    result.stats.iterations = iterations;
+    std::vector<Real> beta_k(m);
+    beta.download(std::span<Real>(beta_k), k * m);
+    std::vector<double> x_std(aug.n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basic_h[k * m + i] < aug.n) {
+        x_std[basic_h[k * m + i]] = static_cast<double>(beta_k[i]);
+      }
+    }
+    result.x = sf.recover(x_std);
+    double z = 0.0;
+    for (std::size_t j = 0; j < aug.n; ++j) z += sf.c[j] * x_std[j];
+    result.objective = sf.original_objective(z);
+  }
+
+  vgpu::Device& dev_;
+  SolverOptions opt_;
+};
+
+}  // namespace gs::simplex

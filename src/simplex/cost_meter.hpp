@@ -1,0 +1,55 @@
+// Analytic cost meter for the host (CPU) baseline engines.
+//
+// The CPU baselines do plain serial math; each algorithmic step reports its
+// work here and the meter converts it to modelled seconds with the same
+// roofline the virtual GPU uses (threads = 1, no launch overhead), so
+// GPU-vs-CPU comparisons are model-vs-model on two calibrated machines.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vgpu/device.hpp"
+#include "vgpu/machine_model.hpp"
+
+namespace gs::simplex {
+
+class CostMeter {
+ public:
+  explicit CostMeter(vgpu::MachineModel model) : model_(std::move(model)) {}
+
+  /// Charge one step: `flops` floating ops and `bytes` of memory traffic.
+  void charge(std::string_view step, double flops, double bytes,
+              std::size_t scalar_bytes = 8) {
+    const double t = model_.kernel_seconds(flops, bytes, 1, scalar_bytes);
+    ++stats_.kernel_launches;
+    stats_.kernel_seconds += t;
+    stats_.total_flops += flops;
+    stats_.total_bytes += bytes;
+    auto it = stats_.per_kernel.find(step);
+    if (it == stats_.per_kernel.end()) {
+      it = stats_.per_kernel.emplace(std::string(step), vgpu::KernelRecord{})
+               .first;
+    }
+    ++it->second.launches;
+    it->second.sim_seconds += t;
+    it->second.flops += flops;
+    it->second.bytes += bytes;
+  }
+
+  [[nodiscard]] const vgpu::DeviceStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] double sim_seconds() const noexcept {
+    return stats_.sim_seconds();
+  }
+  [[nodiscard]] const vgpu::MachineModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  vgpu::MachineModel model_;
+  vgpu::DeviceStats stats_;
+};
+
+}  // namespace gs::simplex

@@ -1,0 +1,811 @@
+// The paper's contribution: revised simplex with every per-iteration
+// linear-algebra operation executed as a data-parallel device kernel.
+//
+// State resident on the device across iterations (the design choice the
+// paper's transfer analysis motivates):
+//   * A^T           (dense or CSR via the At policy; transposed so column
+//                   reads are contiguous)
+//   * B^-1          dense m x m, updated in place by a rank-1 Gauss-Jordan
+//                   elimination step each iteration (explicit-inverse
+//                   scheme; a product-form eta file is the Ext. B ablation)
+//   * beta = B^-1 b, pi, d, alpha, ratio vectors, pricing mask, c, c_B
+//
+// Only scalars cross the PCIe boundary each iteration: the chosen entering/
+// leaving indices, theta, and the entering reduced cost. That per-iteration
+// transfer latency is charged through the device's machine model and is a
+// first-order term below the paper's crossover size.
+//
+// Template parameters: Real in {float, double} drives the Fig. 3 precision
+// study; At in {DenseAt, SparseAt} selects the constraint-matrix storage
+// (SparseRevisedSimplex below is the CSR instantiation, Ext. C).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/standard_form.hpp"
+#include "simplex/at_policy.hpp"
+#include "simplex/phase_setup.hpp"
+#include "simplex/types.hpp"
+#include "support/timer.hpp"
+#include "vblas/containers.hpp"
+#include "vblas/host_ref.hpp"
+#include "vblas/lu.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/primitives.hpp"
+
+namespace gs::simplex {
+
+template <typename Real, template <typename> class At = DenseAt>
+class DeviceRevisedSimplex {
+ public:
+  explicit DeviceRevisedSimplex(vgpu::Device& device,
+                                SolverOptions options = {})
+      : dev_(device), opt_(options) {}
+
+  /// Solve a general-form LP (conversion + two-phase + recovery).
+  [[nodiscard]] SolveResult solve(const lp::LpProblem& problem) {
+    const lp::StandardFormLp sf = lp::to_standard_form(problem);
+    return solve_standard(sf);
+  }
+
+  /// Solve a prepared standard form (used by benches that pre-scale).
+  [[nodiscard]] SolveResult solve_standard(const lp::StandardFormLp& sf) {
+    WallTimer wall;
+    dev_.reset_stats();
+    const AugmentedLp aug = augment(sf);
+    Workspace ws(dev_, aug, opt_);
+    if (opt_.basis == BasisScheme::kLuFactors) {
+      // The LU scheme reads constraint columns host-side; factor the crash
+      // basis once up front.
+      ws.at_host_lu = aug.dense_at();
+      lu_refactorize(ws);
+    }
+
+    SolveResult result;
+    std::size_t budget = opt_.max_iterations;
+
+    // ---- Phase 1: minimize the artificial sum, if any were needed. ----
+    if (aug.num_artificial > 0) {
+      ws.load_costs(aug.c_phase1);
+      const LoopExit exit = run_loop(ws, budget, result.stats);
+      result.stats.phase1_iterations = result.stats.iterations;
+      if (exit == LoopExit::kIterationLimit) {
+        return finish(result, SolveStatus::kIterationLimit, wall);
+      }
+      if (exit == LoopExit::kUnbounded) {
+        // Phase-1 objective is bounded below by zero; reaching here means
+        // the ratio test lost every pivot to numerics.
+        return finish(result, SolveStatus::kNumericalTrouble, wall);
+      }
+      const double z1 = ws.current_objective();
+      const double feas_tol =
+          1e-6 * (1.0 + *std::max_element(aug.b.begin(), aug.b.end()));
+      if (z1 > feas_tol) {
+        return finish(result, SolveStatus::kInfeasible, wall);
+      }
+      drive_out_artificials(ws);
+      budget -= std::min(budget, result.stats.iterations);
+    }
+
+    // ---- Phase 2: original costs, artificials permanently masked. ----
+    ws.load_costs(aug.c_phase2);
+    const LoopExit exit = run_loop(ws, budget, result.stats);
+    switch (exit) {
+      case LoopExit::kOptimal:
+        break;
+      case LoopExit::kUnbounded:
+        return finish(result, SolveStatus::kUnbounded, wall);
+      case LoopExit::kIterationLimit:
+        return finish(result, SolveStatus::kIterationLimit, wall);
+    }
+
+    // Extract the optimum: x_std from the basic values, then map back.
+    const std::vector<Real> beta = ws.beta.to_host();
+    std::vector<double> x_std(aug.n, 0.0);
+    for (std::size_t i = 0; i < aug.m; ++i) {
+      if (ws.basic[i] < aug.n) {
+        x_std[ws.basic[i]] = static_cast<double>(beta[i]);
+      }
+    }
+    result.x = sf.recover(x_std);
+    double z = 0.0;
+    for (std::size_t j = 0; j < aug.n; ++j) z += sf.c[j] * x_std[j];
+    result.objective = sf.original_objective(z);
+    // ws.pi still holds the optimal simplex multipliers (the loop priced,
+    // found no entering candidate and stopped): they are the duals.
+    const std::vector<Real> pi = ws.pi.to_host();
+    result.y = sf.recover_duals(std::vector<double>(pi.begin(), pi.end()));
+    return finish(result, SolveStatus::kOptimal, wall);
+  }
+
+ private:
+  static constexpr Real kInf = std::numeric_limits<Real>::infinity();
+
+  enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
+
+  /// All device-resident solver state for one solve.
+  struct Workspace {
+    Workspace(vgpu::Device& dev, const AugmentedLp& aug_in,
+              const SolverOptions& opt)
+        : aug(aug_in),
+          m(aug_in.m),
+          n_aug(aug_in.n_aug),
+          at(dev, aug_in),
+          binv(dev, m, m),
+          beta(dev, m),
+          b_dev(dev, m),
+          pi(dev, m),
+          cb(dev, m),
+          c(dev, n_aug),
+          d(dev, n_aug),
+          mask(dev, n_aug),
+          alpha(dev, m),
+          ratio(dev, m),
+          pivot_row(dev, m),
+          scalar_tmp(dev, 1),
+          eta_work(dev, m),
+          devex_w(dev, n_aug),
+          col_work(dev, n_aug),
+          basic(aug_in.basic),
+          options(opt) {
+      // Initial diagonal B^-1 and beta from the crash basis.
+      vblas::Matrix<Real> binv0(m, m);
+      std::vector<Real> beta0(m), b0(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        binv0(i, i) = static_cast<Real>(aug.binv_diag[i]);
+        beta0[i] = static_cast<Real>(aug.beta_init[i]);
+        b0[i] = static_cast<Real>(aug.b[i]);
+      }
+      binv.upload(binv0);
+      beta.upload(beta0);
+      b_dev.upload(b0);
+      in_basis.assign(n_aug, false);
+      for (std::uint32_t col : basic) in_basis[col] = true;
+      refresh_mask();
+      vgpu::fill(devex_w, Real{1});
+    }
+
+    /// Install a phase cost vector (device c and c_B, host copy for swaps).
+    void load_costs(const std::vector<double>& costs) {
+      c_host.assign(costs.begin(), costs.end());
+      std::vector<Real> cr(costs.size());
+      for (std::size_t j = 0; j < costs.size(); ++j) {
+        cr[j] = static_cast<Real>(costs[j]);
+      }
+      c.upload(cr);
+      std::vector<Real> cbr(m);
+      for (std::size_t i = 0; i < m; ++i) cbr[i] = cr[basic[i]];
+      cb.upload(cbr);
+    }
+
+    /// Pricing mask: 1 for columns allowed to enter (nonbasic and never an
+    /// artificial), 0 otherwise.
+    void refresh_mask() {
+      std::vector<Real> mv(n_aug);
+      for (std::size_t j = 0; j < n_aug; ++j) {
+        mv[j] = (!in_basis[j] && !aug.is_artificial[j]) ? Real{1} : Real{0};
+      }
+      mask.upload(mv);
+    }
+
+    /// Exact objective of the current phase costs at the current basis
+    /// (recomputed from beta; avoids incremental drift).
+    [[nodiscard]] double current_objective() const {
+      const std::vector<Real> bv = beta.to_host();
+      double z = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        z += c_host[basic[i]] * static_cast<double>(bv[i]);
+      }
+      return z;
+    }
+
+    const AugmentedLp& aug;
+    std::size_t m, n_aug;
+
+    At<Real> at;
+    vblas::DeviceMatrix<Real> binv;
+    vgpu::DeviceBuffer<Real> beta, b_dev, pi, cb, c, d, mask, alpha, ratio,
+        pivot_row, scalar_tmp, eta_work;
+    vgpu::DeviceBuffer<Real> devex_w;
+    vgpu::DeviceBuffer<Real> col_work;  ///< n_aug scratch (scores, rows)
+
+    /// Product-form eta file: (pivot row, eta vector) per pivot since the
+    /// last reinversion.
+    struct Eta {
+      std::size_t p;
+      vgpu::DeviceBuffer<Real> values;
+    };
+    std::vector<Eta> etas;
+
+    /// LU-factor scheme state: factors of the basis at the last
+    /// refactorization (host-side double; the device is charged for the
+    /// equivalent blocked kernels), plus a dense host A^T for column reads.
+    std::optional<vblas::LuFactors> lu;
+    vblas::Matrix<double> at_host_lu;
+
+    std::vector<std::uint32_t> basic;
+    std::vector<bool> in_basis;
+    std::vector<double> c_host;
+    SolverOptions options;
+    std::size_t pivots_since_refactor = 0;
+  };
+
+  // ---------------------------------------------------------------------
+  // Kernels (each one launch on the device, costed like its CUDA original)
+  // ---------------------------------------------------------------------
+
+  /// out = (B^-1)^T seed under the active basis scheme.
+  void btran_generic(Workspace& ws, const vgpu::DeviceBuffer<Real>& seed,
+                     vgpu::DeviceBuffer<Real>& out) {
+    const bool with_etas = !ws.etas.empty();
+    if ((ws.options.basis == BasisScheme::kProductForm && with_etas) ||
+        ws.options.basis == BasisScheme::kLuFactors) {
+      // y = seed; apply eta transposes newest-first; then (B0^-1)^T y.
+      auto ysp = ws.eta_work.device_span();
+      auto ssp = seed.device_span();
+      dev_.launch_blocks(
+          "price_btran_seed", ws.m, vgpu::Device::kBlockSize,
+          {0.0, bytes(2 * ws.m), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) ysp[i] = ssp[i];
+          });
+      for (auto it = ws.etas.rbegin(); it != ws.etas.rend(); ++it) {
+        eta_btran_apply(ws, *it);
+      }
+      if (ws.options.basis == BasisScheme::kLuFactors) {
+        lu_btran_tail(ws, out);
+      } else {
+        btran_dense(ws, ws.eta_work, out);
+      }
+    } else {
+      btran_dense(ws, seed, out);
+    }
+  }
+
+  void btran(Workspace& ws) { btran_generic(ws, ws.cb, ws.pi); }
+
+  /// out = (B0^-1)^T y: block-local accumulation over columns so rows of
+  /// B^-1 stream contiguously.
+  void btran_dense(Workspace& ws, const vgpu::DeviceBuffer<Real>& y,
+                   vgpu::DeviceBuffer<Real>& out) {
+    const std::size_t m = ws.m;
+    auto binv = ws.binv.device_span();
+    auto ysp = y.device_span();
+    auto pisp = out.device_span();
+    dev_.launch_blocks(
+        "price_btran", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(m), bytes(m * m + 2 * m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) pisp[j] = Real{0};
+          for (std::size_t i = 0; i < m; ++i) {
+            const Real yi = ysp[i];
+            if (yi == Real{0}) continue;
+            const Real* row = binv.data() + i * m;
+            for (std::size_t j = lo; j < hi; ++j) pisp[j] += yi * row[j];
+          }
+        });
+  }
+
+  /// alpha = B^-1 a_q (FTRAN). Under product form / LU: B0^-1 a_q via the
+  /// dense inverse or the LU solves, then the eta chain in order.
+  void ftran(Workspace& ws, std::size_t q) {
+    if (ws.options.basis == BasisScheme::kLuFactors) {
+      lu_ftran_head(ws, q);
+    } else {
+      ws.at.ftran_alpha(ws.binv, q, ws.alpha);
+    }
+    if (ws.options.basis != BasisScheme::kExplicitInverse) {
+      for (const auto& eta : ws.etas) eta_ftran_apply(ws, eta);
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // LU-factor scheme: B0 = P^-1 L U. The triangular solves execute on the
+  // host in double (exactness), while the device is charged the blocked
+  // trsv it would run: ceil(m/64) dependent panel kernels per solve — the
+  // launch-latency chain that made 2009 GPU implementations avoid LU.
+  // -------------------------------------------------------------------
+
+  static constexpr std::size_t kTrsvPanel = 64;
+
+  void charge_trsv(Workspace& ws, std::string_view name) {
+    const std::size_t m = ws.m;
+    const std::size_t stages = (m + kTrsvPanel - 1) / kTrsvPanel;
+    const double flops_total = static_cast<double>(m) * static_cast<double>(m);
+    const double bytes_total = bytes(m * m + 2 * m);
+    for (std::size_t s = 0; s < stages; ++s) {
+      dev_.account_kernel(name,
+                          {flops_total / static_cast<double>(stages),
+                           bytes_total / static_cast<double>(stages),
+                           sizeof(Real)},
+                          m - s * kTrsvPanel);
+    }
+  }
+
+  /// alpha = B0^-1 a_q via LU solves (charged as 2 blocked trsv chains).
+  void lu_ftran_head(Workspace& ws, std::size_t q) {
+    GS_CHECK_MSG(ws.lu.has_value(), "LU factors missing");
+    std::vector<double> aq(ws.m);
+    for (std::size_t i = 0; i < ws.m; ++i) aq[i] = ws.at_host_lu(q, i);
+    const std::vector<double> x = vblas::lu_solve(*ws.lu, aq);
+    auto asp = ws.alpha.device_span();
+    for (std::size_t i = 0; i < ws.m; ++i) {
+      asp[i] = static_cast<Real>(x[i]);
+    }
+    charge_trsv(ws, "ftran_trsv_l");
+    charge_trsv(ws, "ftran_trsv_u");
+  }
+
+  /// out = (B0^-1)^T eta_work via transposed LU solves.
+  void lu_btran_tail(Workspace& ws, vgpu::DeviceBuffer<Real>& out) {
+    GS_CHECK_MSG(ws.lu.has_value(), "LU factors missing");
+    auto ysp = ws.eta_work.device_span();
+    std::vector<double> y(ws.m);
+    for (std::size_t i = 0; i < ws.m; ++i) {
+      y[i] = static_cast<double>(ysp[i]);
+    }
+    const std::vector<double> x = vblas::lu_solve_transposed(*ws.lu, y);
+    auto osp = out.device_span();
+    for (std::size_t i = 0; i < ws.m; ++i) {
+      osp[i] = static_cast<Real>(x[i]);
+    }
+    charge_trsv(ws, "btran_trsv_u");
+    charge_trsv(ws, "btran_trsv_l");
+  }
+
+  /// Refactorize the LU basis: assemble B, factor, clear etas, refresh beta.
+  void lu_refactorize(Workspace& ws) {
+    const std::size_t m = ws.m;
+    ws.lu = vblas::lu_factor(assemble_basis(ws));
+    ws.etas.clear();
+    ws.pivots_since_refactor = 0;
+    dev_.account_kernel(
+        "lu_refactor",
+        {(2.0 / 3.0) * double(m) * double(m) * double(m), bytes(2 * m * m),
+         sizeof(Real)},
+        m);
+    const std::vector<double> beta = vblas::lu_solve(*ws.lu, ws.aug.b);
+    auto bsp = ws.beta.device_span();
+    for (std::size_t i = 0; i < m; ++i) {
+      bsp[i] = beta[i] < 0.0 ? Real{0} : static_cast<Real>(beta[i]);
+    }
+    charge_trsv(ws, "refresh_beta_trsv");
+  }
+
+  /// Product-form FTRAN step: x = M x with M the eta matrix. x[p] is
+  /// snapshotted by a tiny kernel first so all lanes read the pre-update
+  /// value (as the CUDA original would).
+  void eta_ftran_apply(Workspace& ws, const typename Workspace::Eta& eta) {
+    auto xsp = ws.alpha.device_span();
+    auto esp = eta.values.device_span();
+    auto tmp = ws.scalar_tmp.device_span();
+    const std::size_t p = eta.p;
+    dev_.launch_blocks("eta_snapshot", 1, 1, {0.0, bytes(2), sizeof(Real)},
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         tmp[0] = xsp[p];
+                       });
+    dev_.launch_blocks(
+        "eta_ftran", ws.m, vgpu::Device::kBlockSize,
+        {2.0 * double(ws.m), bytes(3 * ws.m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          const Real xp = tmp[0];
+          for (std::size_t i = lo; i < hi; ++i) {
+            xsp[i] = (i == p) ? esp[i] * xp : xsp[i] + esp[i] * xp;
+          }
+        });
+  }
+
+  /// Product-form BTRAN step on ws.eta_work: y_p = eta . y.
+  void eta_btran_apply(Workspace& ws, const typename Workspace::Eta& eta) {
+    auto ysp = ws.eta_work.device_span();
+    auto esp = eta.values.device_span();
+    const std::size_t m = ws.m;
+    const std::size_t blocks =
+        (m + vgpu::Device::kBlockSize - 1) / vgpu::Device::kBlockSize;
+    std::vector<Real> partial(blocks, Real{0});
+    dev_.launch_blocks(
+        "eta_btran_dot", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m), bytes(2 * m), sizeof(Real)},
+        [&](std::size_t blk, std::size_t lo, std::size_t hi) {
+          Real acc{0};
+          for (std::size_t i = lo; i < hi; ++i) acc += esp[i] * ysp[i];
+          partial[blk] = acc;
+        });
+    const std::size_t p = eta.p;
+    dev_.launch_blocks("eta_btran_write", 1, 1,
+                       {double(blocks), bytes(blocks + 1), sizeof(Real)},
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         Real acc{0};
+                         for (std::size_t b = 0; b < blocks; ++b)
+                           acc += partial[b];
+                         ysp[p] = acc;
+                       });
+  }
+
+  /// ratio_i = beta_i / alpha_i where alpha_i > pivot_tol, else +inf.
+  void ratio_test_kernel(Workspace& ws) {
+    auto asp = ws.alpha.device_span();
+    auto bsp = ws.beta.device_span();
+    auto rsp = ws.ratio.device_span();
+    const Real tol = static_cast<Real>(ws.options.pivot_tol);
+    dev_.launch_blocks(
+        "ratio", ws.m, vgpu::Device::kBlockSize,
+        {double(ws.m), bytes(3 * ws.m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            rsp[i] = asp[i] > tol ? bsp[i] / asp[i] : kInf;
+          }
+        });
+  }
+
+  /// beta update after the pivot: beta_p = theta, beta_i -= theta*alpha_i.
+  void update_beta(Workspace& ws, std::size_t p, Real theta) {
+    auto asp = ws.alpha.device_span();
+    auto bsp = ws.beta.device_span();
+    const Real round_tol = static_cast<Real>(ws.options.round_tol);
+    dev_.launch_blocks(
+        "update_beta", ws.m, vgpu::Device::kBlockSize,
+        {2.0 * double(ws.m), bytes(3 * ws.m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            Real v = (i == p) ? theta : bsp[i] - theta * asp[i];
+            if (round_tol > Real{0} && std::abs(v) < round_tol) v = Real{0};
+            // The ratio test guarantees v >= 0 in exact arithmetic; clamp
+            // the rounding dust so the basis stays primal feasible.
+            bsp[i] = v < Real{0} ? Real{0} : v;
+          }
+        });
+  }
+
+  /// Copy row p of B^-1 into ws.pivot_row.
+  void save_pivot_row(Workspace& ws, std::size_t p) {
+    const std::size_t m = ws.m;
+    auto binv = ws.binv.device_span();
+    auto prow = ws.pivot_row.device_span();
+    dev_.launch_blocks(
+        "save_pivot_row", m, vgpu::Device::kBlockSize,
+        {0.0, bytes(2 * m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) prow[j] = binv[p * m + j];
+        });
+  }
+
+  /// Rank-1 Gauss-Jordan update of the explicit inverse:
+  ///   row_p /= alpha_p;  row_i -= (alpha_i / alpha_p) * old row_p.
+  /// Requires save_pivot_row(p) to have run.
+  void update_binv(Workspace& ws, std::size_t p, Real alpha_p) {
+    const std::size_t m = ws.m;
+    auto binv = ws.binv.device_span();
+    auto prow = ws.pivot_row.device_span();
+    auto asp = ws.alpha.device_span();
+    const Real round_tol = static_cast<Real>(ws.options.round_tol);
+    dev_.launch_blocks(
+        "update_binv", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(m), bytes(2 * m * m + 2 * m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            Real* row = binv.data() + i * m;
+            if (i == p) {
+              const Real inv = Real{1} / alpha_p;
+              for (std::size_t j = 0; j < m; ++j) {
+                Real v = prow[j] * inv;
+                if (round_tol > Real{0} && std::abs(v) < round_tol) v = Real{0};
+                row[j] = v;
+              }
+            } else {
+              const Real f = asp[i] / alpha_p;
+              if (f == Real{0}) continue;
+              for (std::size_t j = 0; j < m; ++j) {
+                Real v = row[j] - f * prow[j];
+                if (round_tol > Real{0} && std::abs(v) < round_tol) v = Real{0};
+                row[j] = v;
+              }
+            }
+          }
+        });
+  }
+
+  /// Product-form: append the eta for this pivot instead of updating B^-1.
+  void append_eta(Workspace& ws, std::size_t p, Real alpha_p) {
+    vgpu::DeviceBuffer<Real> eta(dev_, ws.m);
+    auto asp = ws.alpha.device_span();
+    auto esp = eta.device_span();
+    dev_.launch_blocks(
+        "make_eta", ws.m, vgpu::Device::kBlockSize,
+        {double(ws.m), bytes(2 * ws.m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          const Real inv = Real{1} / alpha_p;
+          for (std::size_t i = lo; i < hi; ++i) {
+            esp[i] = (i == p) ? inv : -asp[i] * inv;
+          }
+        });
+    ws.etas.push_back({p, std::move(eta)});
+  }
+
+  /// Assemble the current basis matrix from the augmented problem's rows.
+  [[nodiscard]] vblas::Matrix<double> assemble_basis(const Workspace& ws) const {
+    const std::size_t m = ws.m;
+    std::vector<std::int64_t> pos_of_col(ws.n_aug, -1);
+    for (std::size_t i = 0; i < m; ++i) {
+      pos_of_col[ws.basic[i]] = std::int64_t(i);
+    }
+    vblas::Matrix<double> basis(m, m);
+    const lp::StandardFormLp& sf = *ws.aug.source;
+    for (std::size_t r = 0; r < m; ++r) {
+      for (const lp::Term& t : sf.rows[r]) {
+        const std::int64_t pos = pos_of_col[t.var];
+        if (pos >= 0) basis(r, static_cast<std::size_t>(pos)) = t.coef;
+      }
+    }
+    for (std::size_t k = 0; k < ws.aug.num_artificial; ++k) {
+      const std::int64_t pos = pos_of_col[ws.aug.n + k];
+      if (pos >= 0) {
+        basis(ws.aug.artificial_rows[k], static_cast<std::size_t>(pos)) = 1.0;
+      }
+    }
+    return basis;
+  }
+
+  /// Rebuild B^-1 from the current basis columns (host Gauss-Jordan in
+  /// double for exactness; charged as a device O(m^3) elimination). Resets
+  /// the eta file and refreshes beta = B^-1 b.
+  void reinvert(Workspace& ws) {
+    const std::size_t m = ws.m;
+    const vblas::Matrix<double> inv = vblas::ref::invert(assemble_basis(ws));
+    auto binv = ws.binv.device_span();
+    dev_.launch_blocks(
+        "reinvert", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(m) * double(m), bytes(3 * m * m),
+         sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = 0; j < m; ++j) {
+              binv[i * m + j] = static_cast<Real>(inv(i, j));
+            }
+          }
+        });
+    ws.etas.clear();
+    ws.pivots_since_refactor = 0;
+    // beta = B^-1 b (clamped: the basis is primal feasible by invariant).
+    auto bsp = ws.b_dev.device_span();
+    auto betasp = ws.beta.device_span();
+    dev_.launch_blocks(
+        "refresh_beta", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(m), bytes(m * m + 2 * m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Real* row = binv.data() + i * m;
+            Real acc{0};
+            for (std::size_t k = 0; k < m; ++k) acc += row[k] * bsp[k];
+            betasp[i] = acc < Real{0} ? Real{0} : acc;
+          }
+        });
+  }
+
+  // ---------------------------------------------------------------------
+  // Pricing
+  // ---------------------------------------------------------------------
+
+  /// Pick the entering column (or nullopt at optimality). `use_bland`
+  /// overrides the configured rule during degeneracy streaks.
+  [[nodiscard]] std::optional<std::size_t> select_entering(Workspace& ws,
+                                                           bool use_bland) {
+    const Real tol = static_cast<Real>(ws.options.opt_tol);
+    if (use_bland || ws.options.pricing == PricingRule::kBland) {
+      const auto hit = vgpu::find_first_below(ws.d, -tol);
+      if (!hit.found()) return std::nullopt;
+      return hit.index;
+    }
+    if (ws.options.pricing == PricingRule::kDevex) {
+      auto dsp = ws.d.device_span();
+      auto wsp = ws.devex_w.device_span();
+      auto ssp = ws.col_work.device_span();
+      dev_.launch_blocks(
+          "devex_score", ws.n_aug, vgpu::Device::kBlockSize,
+          {3.0 * double(ws.n_aug), bytes(3 * ws.n_aug), sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j) {
+              ssp[j] = dsp[j] < -tol ? -(dsp[j] * dsp[j]) / wsp[j] : Real{0};
+            }
+          });
+      const auto best = vgpu::argmin(ws.col_work);
+      if (!best.found() || best.value >= Real{0}) return std::nullopt;
+      return best.index;
+    }
+    // Dantzig: most negative reduced cost.
+    const auto best = vgpu::argmin(ws.d);
+    if (!best.found() || best.value >= -tol) return std::nullopt;
+    return best.index;
+  }
+
+  /// pivot_row <- row `i` of B^-1 under the active basis scheme: a cheap
+  /// row copy for the explicit inverse, a unit-vector BTRAN otherwise.
+  void compute_binv_row(Workspace& ws, std::size_t i) {
+    if (ws.options.basis == BasisScheme::kExplicitInverse) {
+      save_pivot_row(ws, i);
+      return;
+    }
+    // ws.ratio is free at every call site; use it as the unit seed.
+    auto seed = ws.ratio.device_span();
+    dev_.launch_blocks(
+        "unit_seed", ws.m, vgpu::Device::kBlockSize,
+        {0.0, bytes(ws.m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            seed[k] = k == i ? Real{1} : Real{0};
+          }
+        });
+    btran_generic(ws, ws.ratio, ws.pivot_row);
+  }
+
+  /// Devex weight maintenance (uses the pre-update B^-1 row p).
+  void devex_update(Workspace& ws, std::size_t q, std::size_t p,
+                    Real alpha_p) {
+    // alpha-tilde_j = (B^-1 A)_pj for all columns: one pricing-shaped pass
+    // against the pivot row of the current inverse.
+    compute_binv_row(ws, p);
+    ws.at.pivot_row_product(ws.pivot_row, ws.col_work);
+    const Real wq = ws.devex_w.download_value(q);
+    auto wsp = ws.devex_w.device_span();
+    auto msp = ws.mask.device_span();
+    auto rsp = ws.col_work.device_span();
+    dev_.launch_blocks(
+        "devex_update", ws.n_aug, vgpu::Device::kBlockSize,
+        {4.0 * double(ws.n_aug), bytes(3 * ws.n_aug), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            if (msp[j] == Real{0}) continue;
+            const Real t = rsp[j] / alpha_p;
+            const Real cand = t * t * wq;
+            if (cand > wsp[j]) wsp[j] = cand;
+          }
+        });
+    // The leaving variable re-enters the nonbasic pool with the reference
+    // weight of the pivot.
+    const Real w_leave = std::max(wq / (alpha_p * alpha_p), Real{1});
+    ws.devex_w.upload_value(ws.basic[p], w_leave);
+  }
+
+  // ---------------------------------------------------------------------
+  // Main loop
+  // ---------------------------------------------------------------------
+
+  LoopExit run_loop(Workspace& ws, std::size_t budget, SolverStats& stats) {
+    double z = ws.current_objective();
+    std::size_t since_improve = 0;
+    bool bland_mode = false;
+    for (std::size_t iter = 0; iter < budget; ++iter) {
+      // Hybrid pricing: Bland during degeneracy streaks.
+      if (ws.options.pricing == PricingRule::kHybrid) {
+        bland_mode = since_improve >= ws.options.degeneracy_window;
+      }
+
+      btran(ws);
+      ws.at.price(ws.pi, ws.c, ws.mask, ws.d);
+      const auto entering = select_entering(ws, bland_mode);
+      if (!entering.has_value()) return LoopExit::kOptimal;
+      const std::size_t q = *entering;
+      const Real d_q = ws.d.download_value(q);
+
+      ftran(ws, q);
+      ratio_test_kernel(ws);
+      const auto leave = vgpu::argmin(ws.ratio);
+      if (!leave.found() || leave.value == kInf) return LoopExit::kUnbounded;
+      const std::size_t p = leave.index;
+      const Real theta = leave.value;
+      const Real alpha_p = ws.alpha.download_value(p);
+
+      if (ws.options.pricing == PricingRule::kDevex) {
+        devex_update(ws, q, p, alpha_p);
+      }
+      pivot(ws, q, p, theta, alpha_p);
+      ++stats.iterations;
+
+      const double dz = static_cast<double>(theta) * static_cast<double>(d_q);
+      const double new_z = z + dz;
+      if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
+        since_improve = 0;
+        bland_mode = false;
+      } else {
+        ++since_improve;
+      }
+      z = new_z;
+
+      // Periodic refactorization to shed accumulated rounding error
+      // (explicit inverse) or to bound the eta file (product form / LU).
+      ++ws.pivots_since_refactor;
+      const std::size_t period =
+          ws.options.basis == BasisScheme::kExplicitInverse
+              ? ws.options.refactor_period
+              : (ws.options.reinversion_period > 0
+                     ? ws.options.reinversion_period
+                     : ws.m);
+      if (period > 0 && ws.pivots_since_refactor >= period) {
+        if (ws.options.basis == BasisScheme::kLuFactors) {
+          lu_refactorize(ws);
+        } else {
+          reinvert(ws);
+        }
+      }
+    }
+    return LoopExit::kIterationLimit;
+  }
+
+  /// Apply one basis exchange: entering column q replaces row p's variable.
+  void pivot(Workspace& ws, std::size_t q, std::size_t p, Real theta,
+             Real alpha_p) {
+    update_beta(ws, p, theta);
+    if (ws.options.basis == BasisScheme::kExplicitInverse) {
+      save_pivot_row(ws, p);
+      update_binv(ws, p, alpha_p);
+    } else {
+      append_eta(ws, p, alpha_p);
+    }
+    const std::uint32_t leaving = ws.basic[p];
+    ws.basic[p] = static_cast<std::uint32_t>(q);
+    ws.in_basis[leaving] = false;
+    ws.in_basis[q] = true;
+    // Scalar traffic: c_B[p], mask[q] off, mask[leaving] on (unless it is an
+    // artificial, which never re-enters).
+    ws.cb.upload_value(p, static_cast<Real>(ws.c_host[q]));
+    ws.mask.upload_value(q, Real{0});
+    if (!ws.aug.is_artificial[leaving]) {
+      ws.mask.upload_value(leaving, Real{1});
+    }
+  }
+
+  /// After a degenerate phase 1, artificials can linger in the basis at
+  /// level zero. Replace each with any non-artificial column that has a
+  /// nonzero pivot in its row; rows with no such column are redundant and
+  /// keep their (permanently zero) artificial.
+  void drive_out_artificials(Workspace& ws) {
+    for (std::size_t i = 0; i < ws.m; ++i) {
+      if (!ws.aug.is_artificial[ws.basic[i]]) continue;
+      compute_binv_row(ws, i);
+      ws.at.pivot_row_product(ws.pivot_row, ws.col_work);
+      const std::vector<Real> w = ws.col_work.to_host();
+      std::size_t q = ws.n_aug;
+      for (std::size_t j = 0; j < ws.aug.n; ++j) {
+        if (!ws.in_basis[j] && std::abs(static_cast<double>(w[j])) > 1e-7) {
+          q = j;
+          break;
+        }
+      }
+      if (q == ws.n_aug) continue;  // redundant row: artificial stays at 0
+      ftran(ws, q);
+      const Real alpha_p = ws.alpha.download_value(i);
+      if (std::abs(static_cast<double>(alpha_p)) <= ws.options.pivot_tol) {
+        continue;
+      }
+      pivot(ws, q, i, Real{0}, alpha_p);
+    }
+  }
+
+  SolveResult& finish(SolveResult& result, SolveStatus status,
+                      WallTimer& wall) {
+    result.status = status;
+    result.stats.wall_seconds = wall.seconds();
+    result.stats.device_stats = dev_.stats();
+    result.stats.sim_seconds = dev_.sim_seconds();
+    return result;
+  }
+
+  [[nodiscard]] static constexpr double bytes(std::size_t n) noexcept {
+    return static_cast<double>(n * sizeof(Real));
+  }
+
+  vgpu::Device& dev_;
+  SolverOptions opt_;
+};
+
+/// The Ext. C sparse instantiation: CSR constraint matrix, dense B^-1.
+template <typename Real>
+using SparseRevisedSimplex = DeviceRevisedSimplex<Real, SparseAt>;
+
+}  // namespace gs::simplex

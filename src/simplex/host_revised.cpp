@@ -1,0 +1,384 @@
+#include "simplex/host_revised.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "simplex/cost_meter.hpp"
+#include "simplex/phase_setup.hpp"
+#include "support/timer.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::simplex {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mutable solver state for one solve (all host memory).
+struct State {
+  State(const AugmentedLp& aug_in, const SolverOptions& opt_in,
+        CostMeter& meter_in)
+      : aug(aug_in),
+        m(aug_in.m),
+        n_aug(aug_in.n_aug),
+        at(aug_in.dense_at()),
+        binv(m, m),
+        beta(aug_in.beta_init),
+        pi(m),
+        d(n_aug),
+        alpha(m),
+        basic(aug_in.basic),
+        in_basis(n_aug, false),
+        opt(opt_in),
+        meter(meter_in) {
+    for (std::size_t i = 0; i < m; ++i) binv(i, i) = aug.binv_diag[i];
+    for (std::uint32_t col : basic) in_basis[col] = true;
+  }
+
+  [[nodiscard]] bool may_enter(std::size_t j) const {
+    return !in_basis[j] && !aug.is_artificial[j];
+  }
+
+  [[nodiscard]] double objective() const {
+    double z = 0.0;
+    for (std::size_t i = 0; i < m; ++i) z += c[basic[i]] * beta[i];
+    return z;
+  }
+
+  const AugmentedLp& aug;
+  std::size_t m, n_aug;
+  vblas::Matrix<double> at;    ///< A^T augmented (n_aug x m)
+  vblas::Matrix<double> binv;  ///< explicit B^-1
+  std::vector<double> beta, pi, d, alpha;
+  std::vector<std::uint32_t> basic;
+  std::vector<bool> in_basis;
+  std::vector<double> c;  ///< current phase costs
+  const SolverOptions& opt;
+  CostMeter& meter;
+};
+
+/// pi = (B^-1)^T c_B, accumulated row-wise for cache-friendly access.
+void btran(State& s) {
+  std::fill(s.pi.begin(), s.pi.end(), 0.0);
+  for (std::size_t i = 0; i < s.m; ++i) {
+    const double cbi = s.c[s.basic[i]];
+    if (cbi == 0.0) continue;
+    const auto row = s.binv.row(i);
+    for (std::size_t j = 0; j < s.m; ++j) s.pi[j] += cbi * row[j];
+  }
+  s.meter.charge("price_btran", 2.0 * double(s.m) * double(s.m),
+                 double((s.m * s.m + 2 * s.m) * sizeof(double)));
+}
+
+/// d_j = c_j - a_j . pi for admissible columns, 0 otherwise.
+void price(State& s) {
+  for (std::size_t j = 0; j < s.n_aug; ++j) {
+    if (!s.may_enter(j)) {
+      s.d[j] = 0.0;
+      continue;
+    }
+    const auto col = s.at.row(j);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < s.m; ++i) acc += col[i] * s.pi[i];
+    s.d[j] = s.c[j] - acc;
+  }
+  s.meter.charge("price_reduced", 2.0 * double(s.n_aug) * double(s.m),
+                 double((s.n_aug * s.m + 3 * s.n_aug) * sizeof(double)));
+}
+
+[[nodiscard]] std::optional<std::size_t> select_entering(const State& s,
+                                                         bool bland) {
+  const double tol = s.opt.opt_tol;
+  if (bland) {
+    for (std::size_t j = 0; j < s.n_aug; ++j) {
+      if (s.d[j] < -tol) return j;
+    }
+    return std::nullopt;
+  }
+  std::size_t best = s.n_aug;
+  double best_d = -tol;
+  for (std::size_t j = 0; j < s.n_aug; ++j) {
+    if (s.d[j] < best_d) {
+      best_d = s.d[j];
+      best = j;
+    }
+  }
+  if (best == s.n_aug) return std::nullopt;
+  return best;
+}
+
+void ftran(State& s, std::size_t q) {
+  for (std::size_t i = 0; i < s.m; ++i) {
+    const auto row = s.binv.row(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < s.m; ++k) acc += row[k] * s.at(q, k);
+    s.alpha[i] = acc;
+  }
+  s.meter.charge("ftran", 2.0 * double(s.m) * double(s.m),
+                 double((s.m * s.m + 2 * s.m) * sizeof(double)));
+}
+
+/// Returns (row p, theta) or nullopt when unbounded. Ties break to the
+/// lowest row index (deterministic, Bland-compatible).
+[[nodiscard]] std::optional<std::pair<std::size_t, double>> ratio_test(
+    const State& s) {
+  std::size_t p = s.m;
+  double theta = kInf;
+  for (std::size_t i = 0; i < s.m; ++i) {
+    if (s.alpha[i] > s.opt.pivot_tol) {
+      const double r = s.beta[i] / s.alpha[i];
+      if (r < theta) {
+        theta = r;
+        p = i;
+      }
+    }
+  }
+  s.meter.charge("ratio", double(s.m), double(3 * s.m * sizeof(double)));
+  if (p == s.m) return std::nullopt;
+  return std::make_pair(p, theta);
+}
+
+void pivot(State& s, std::size_t q, std::size_t p, double theta) {
+  const double alpha_p = s.alpha[p];
+  for (std::size_t i = 0; i < s.m; ++i) {
+    s.beta[i] = std::max(0.0, s.beta[i] - theta * s.alpha[i]);
+  }
+  s.beta[p] = theta;
+  // Gauss-Jordan rank-1 update of the explicit inverse.
+  std::vector<double> prow(s.binv.row(p).begin(), s.binv.row(p).end());
+  for (std::size_t i = 0; i < s.m; ++i) {
+    auto row = s.binv.row(i);
+    if (i == p) {
+      for (std::size_t j = 0; j < s.m; ++j) row[j] = prow[j] / alpha_p;
+    } else {
+      const double f = s.alpha[i] / alpha_p;
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < s.m; ++j) row[j] -= f * prow[j];
+    }
+  }
+  s.meter.charge("update_binv", 2.0 * double(s.m) * double(s.m),
+                 double((2 * s.m * s.m + 2 * s.m) * sizeof(double)));
+  s.meter.charge("update_beta", 2.0 * double(s.m),
+                 double(3 * s.m * sizeof(double)));
+  const std::uint32_t leaving = s.basic[p];
+  s.basic[p] = static_cast<std::uint32_t>(q);
+  s.in_basis[leaving] = false;
+  s.in_basis[q] = true;
+}
+
+/// Post-optimal sensitivity analysis (classical ranging): how far each rhs
+/// and each objective coefficient can move before the optimal basis (rhs)
+/// or the optimal point (cost) changes. Uses the final B^-1, beta and
+/// reduced costs; O(n*m) per basic variable.
+[[nodiscard]] RangingInfo compute_ranging(const State& s,
+                                          const lp::StandardFormLp& sf) {
+  constexpr double tol = 1e-9;
+  RangingInfo out;
+  const std::size_t m = s.m;
+
+  // ---- rhs ranging: beta + delta * B^-1 e_i >= 0. ----
+  out.rhs_lower.assign(sf.num_original_rows, -kInf);
+  out.rhs_upper.assign(sf.num_original_rows, kInf);
+  for (std::size_t i = 0; i < sf.num_original_rows; ++i) {
+    double dlo = -kInf, dhi = kInf;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double v = s.binv(r, i);
+      if (v > tol) {
+        dlo = std::max(dlo, -s.beta[r] / v);
+      } else if (v < -tol) {
+        dhi = std::min(dhi, -s.beta[r] / v);
+      }
+    }
+    const double rhs = sf.original_rhs[i];
+    if (sf.row_flipped[i]) {
+      // The stored row is the negated original: delta_orig = -delta_std.
+      out.rhs_lower[i] = rhs - dhi;
+      out.rhs_upper[i] = rhs - dlo;
+    } else {
+      out.rhs_lower[i] = rhs + dlo;
+      out.rhs_upper[i] = rhs + dhi;
+    }
+  }
+
+  // ---- cost ranging: reduced costs stay nonnegative. ----
+  const std::size_t nvars = sf.var_maps.size();
+  out.cost_lower.assign(nvars, -kInf);
+  out.cost_upper.assign(nvars, kInf);
+  const double sign_obj = sf.negated ? -1.0 : 1.0;
+  std::vector<std::int64_t> row_of(s.n_aug, -1);
+  for (std::size_t r = 0; r < m; ++r) row_of[s.basic[r]] = std::int64_t(r);
+  for (std::size_t j = 0; j < nvars; ++j) {
+    const auto& vm = sf.var_maps[j];
+    if (vm.kind == lp::StandardFormLp::VarMap::Kind::kFree) {
+      // A split variable's cost appears in two columns with opposite signs;
+      // ranging is not supported for it.
+      out.cost_lower[j] = out.cost_upper[j] =
+          std::numeric_limits<double>::quiet_NaN();
+      continue;
+    }
+    const double sgn =
+        sign_obj *
+        (vm.kind == lp::StandardFormLp::VarMap::Kind::kNegated ? -1.0 : 1.0);
+    double dlo, dhi;
+    if (row_of[vm.col] < 0) {
+      // Nonbasic: its own reduced cost may shrink to zero.
+      dlo = -s.d[vm.col];
+      dhi = kInf;
+    } else {
+      // Basic at row r: every admissible reduced cost d_k moves by
+      // -delta * (B^-1 A)_{r,k}.
+      const auto r = static_cast<std::size_t>(row_of[vm.col]);
+      const auto brow = s.binv.row(r);
+      dlo = -kInf;
+      dhi = kInf;
+      for (std::size_t k = 0; k < s.n_aug; ++k) {
+        if (!s.may_enter(k)) continue;
+        const auto col = s.at.row(k);
+        double w = 0.0;
+        for (std::size_t t = 0; t < m; ++t) w += col[t] * brow[t];
+        if (w > tol) {
+          dhi = std::min(dhi, s.d[k] / w);
+        } else if (w < -tol) {
+          dlo = std::max(dlo, s.d[k] / w);
+        }
+      }
+    }
+    const double c_orig = sgn * s.c[vm.col];
+    if (sgn > 0) {
+      out.cost_lower[j] = c_orig + dlo;
+      out.cost_upper[j] = c_orig + dhi;
+    } else {
+      out.cost_lower[j] = c_orig - dhi;
+      out.cost_upper[j] = c_orig - dlo;
+    }
+  }
+  return out;
+}
+
+enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
+
+LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
+  double z = s.objective();
+  std::size_t since_improve = 0;
+  for (std::size_t iter = 0; iter < budget; ++iter) {
+    const bool bland =
+        s.opt.pricing == PricingRule::kBland ||
+        (s.opt.pricing == PricingRule::kHybrid &&
+         since_improve >= s.opt.degeneracy_window);
+    btran(s);
+    price(s);
+    const auto entering = select_entering(s, bland);
+    if (!entering.has_value()) return LoopExit::kOptimal;
+    const std::size_t q = *entering;
+    const double d_q = s.d[q];
+    ftran(s, q);
+    const auto leave = ratio_test(s);
+    if (!leave.has_value()) return LoopExit::kUnbounded;
+    const auto [p, theta] = *leave;
+    pivot(s, q, p, theta);
+    ++stats.iterations;
+    const double new_z = z + theta * d_q;
+    if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
+      since_improve = 0;
+    } else {
+      ++since_improve;
+    }
+    z = new_z;
+  }
+  return LoopExit::kIterationLimit;
+}
+
+/// Post-phase-1 cleanup: replace zero-level basic artificials where a
+/// non-artificial pivot exists; redundant rows keep theirs at level zero.
+void drive_out_artificials(State& s) {
+  for (std::size_t i = 0; i < s.m; ++i) {
+    if (!s.aug.is_artificial[s.basic[i]]) continue;
+    std::size_t q = s.n_aug;
+    for (std::size_t j = 0; j < s.aug.n; ++j) {
+      if (s.in_basis[j]) continue;
+      const auto col = s.at.row(j);
+      const auto brow = s.binv.row(i);
+      double acc = 0.0;
+      for (std::size_t r = 0; r < s.m; ++r) acc += col[r] * brow[r];
+      if (std::abs(acc) > 1e-7) {
+        q = j;
+        break;
+      }
+    }
+    s.meter.charge("driveout_row", 2.0 * double(s.aug.n) * double(s.m),
+                   double((s.aug.n * s.m) * sizeof(double)));
+    if (q == s.n_aug) continue;
+    ftran(s, q);
+    if (std::abs(s.alpha[i]) <= s.opt.pivot_tol) continue;
+    pivot(s, q, i, 0.0);
+  }
+}
+
+}  // namespace
+
+SolveResult HostRevisedSimplex::solve(const lp::LpProblem& problem) const {
+  const lp::StandardFormLp sf = lp::to_standard_form(problem);
+  return solve_standard(sf);
+}
+
+SolveResult HostRevisedSimplex::solve_standard(
+    const lp::StandardFormLp& sf) const {
+  WallTimer wall;
+  CostMeter meter(model_);
+  const AugmentedLp aug = augment(sf);
+  State state(aug, options_, meter);
+
+  SolveResult result;
+  auto finish = [&](SolveStatus status) -> SolveResult {
+    result.status = status;
+    result.stats.wall_seconds = wall.seconds();
+    result.stats.device_stats = meter.stats();
+    result.stats.sim_seconds = meter.sim_seconds();
+    return result;
+  };
+
+  std::size_t budget = options_.max_iterations;
+  if (aug.num_artificial > 0) {
+    state.c = aug.c_phase1;
+    const LoopExit exit = run_loop(state, budget, result.stats);
+    result.stats.phase1_iterations = result.stats.iterations;
+    if (exit == LoopExit::kIterationLimit) {
+      return finish(SolveStatus::kIterationLimit);
+    }
+    if (exit == LoopExit::kUnbounded) {
+      return finish(SolveStatus::kNumericalTrouble);
+    }
+    const double feas_tol =
+        1e-6 * (1.0 + *std::max_element(aug.b.begin(), aug.b.end()));
+    if (state.objective() > feas_tol) {
+      return finish(SolveStatus::kInfeasible);
+    }
+    drive_out_artificials(state);
+    budget -= std::min(budget, result.stats.iterations);
+  }
+
+  state.c = aug.c_phase2;
+  const LoopExit exit = run_loop(state, budget, result.stats);
+  if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
+  if (exit == LoopExit::kIterationLimit) {
+    return finish(SolveStatus::kIterationLimit);
+  }
+
+  std::vector<double> x_std(aug.n, 0.0);
+  for (std::size_t i = 0; i < aug.m; ++i) {
+    if (state.basic[i] < aug.n) x_std[state.basic[i]] = state.beta[i];
+  }
+  result.x = sf.recover(x_std);
+  double z = 0.0;
+  for (std::size_t j = 0; j < aug.n; ++j) z += sf.c[j] * x_std[j];
+  result.objective = sf.original_objective(z);
+  // state.pi holds the optimal simplex multipliers from the final pricing.
+  result.y = sf.recover_duals(state.pi);
+  if (options_.ranging) result.ranging = compute_ranging(state, sf);
+  return finish(SolveStatus::kOptimal);
+}
+
+}  // namespace gs::simplex

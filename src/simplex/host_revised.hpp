@@ -1,0 +1,31 @@
+// Sequential CPU revised simplex: the paper's baseline comparator.
+//
+// Independent implementation (plain double loops, no device substrate) so
+// the test suite can cross-check the device engine against genuinely
+// different code. Work is metered through CostMeter with a calibrated
+// single-core 2009 CPU model, producing the modelled times the Fig. 1/2
+// comparison uses.
+#pragma once
+
+#include "lp/problem.hpp"
+#include "lp/standard_form.hpp"
+#include "simplex/types.hpp"
+#include "vgpu/machine_model.hpp"
+
+namespace gs::simplex {
+
+class HostRevisedSimplex {
+ public:
+  explicit HostRevisedSimplex(SolverOptions options = {},
+                              vgpu::MachineModel model = vgpu::cpu2009_model())
+      : options_(options), model_(std::move(model)) {}
+
+  [[nodiscard]] SolveResult solve(const lp::LpProblem& problem) const;
+  [[nodiscard]] SolveResult solve_standard(const lp::StandardFormLp& sf) const;
+
+ private:
+  SolverOptions options_;
+  vgpu::MachineModel model_;
+};
+
+}  // namespace gs::simplex

@@ -1,0 +1,131 @@
+#include "simplex/phase_setup.hpp"
+
+#include "support/error.hpp"
+
+namespace gs::simplex {
+
+AugmentedLp augment(const lp::StandardFormLp& sf) {
+  AugmentedLp out;
+  out.m = sf.num_rows();
+  out.n = sf.num_cols();
+  out.b = sf.b;
+  out.source = &sf;
+
+  out.basic.resize(out.m);
+  out.binv_diag.resize(out.m);
+  out.beta_init.resize(out.m);
+
+  // Crash basis: a row's own slack if present (its coefficient is the row's
+  // only entry in that column and stays positive under scaling), otherwise a
+  // fresh artificial unit column.
+  std::vector<std::uint32_t> artificial_rows;
+  for (std::size_t i = 0; i < out.m; ++i) {
+    GS_CHECK_MSG(sf.b[i] >= 0.0, "standard form violated: negative rhs");
+    const std::int64_t slack = sf.slack_col[i];
+    if (slack >= 0) {
+      double coef = 0.0;
+      for (const lp::Term& t : sf.rows[i]) {
+        if (t.var == static_cast<std::uint32_t>(slack)) coef = t.coef;
+      }
+      GS_CHECK_MSG(coef > 0.0, "slack column lost its positive coefficient");
+      out.basic[i] = static_cast<std::uint32_t>(slack);
+      out.binv_diag[i] = 1.0 / coef;
+      out.beta_init[i] = sf.b[i] / coef;
+    } else {
+      const auto art_col = static_cast<std::uint32_t>(
+          out.n + artificial_rows.size());
+      artificial_rows.push_back(static_cast<std::uint32_t>(i));
+      out.basic[i] = art_col;
+      out.binv_diag[i] = 1.0;
+      out.beta_init[i] = sf.b[i];
+    }
+  }
+  out.num_artificial = artificial_rows.size();
+  out.artificial_rows = std::move(artificial_rows);
+  out.n_aug = out.n + out.num_artificial;
+
+  out.is_artificial.assign(out.n_aug, false);
+  for (std::size_t k = 0; k < out.num_artificial; ++k) {
+    out.is_artificial[out.n + k] = true;
+  }
+
+  out.c_phase1.assign(out.n_aug, 0.0);
+  for (std::size_t k = 0; k < out.num_artificial; ++k) {
+    out.c_phase1[out.n + k] = 1.0;
+  }
+  out.c_phase2.assign(out.n_aug, 0.0);
+  for (std::size_t j = 0; j < out.n; ++j) out.c_phase2[j] = sf.c[j];
+
+  // Remember which row each artificial column covers (needed to rebuild
+  // dense/CSR forms without keeping artificial_rows in the public struct:
+  // the artificial for row i is exactly the k-th appended one).
+  return out;
+}
+
+vblas::Matrix<double> AugmentedLp::dense_at() const {
+  GS_CHECK_MSG(source != nullptr, "AugmentedLp not initialized");
+  vblas::Matrix<double> at(n_aug, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const lp::Term& t : source->rows[i]) at(t.var, i) = t.coef;
+  }
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (is_artificial[basic[i]]) at(n + k++, i) = 1.0;
+  }
+  GS_CHECK(k == num_artificial);
+  return at;
+}
+
+sparse::CsrMatrix<double> AugmentedLp::csr_at() const {
+  GS_CHECK_MSG(source != nullptr, "AugmentedLp not initialized");
+  // Column-major walk of the standard form: transpose the row lists first.
+  std::vector<std::uint32_t> offsets(n_aug + 1, 0);
+  for (const auto& row : source->rows) {
+    for (const lp::Term& t : row) ++offsets[t.var + 1];
+  }
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (is_artificial[basic[i]]) {
+      ++offsets[n + k + 1];
+      ++k;
+    }
+  }
+  for (std::size_t j = 1; j <= n_aug; ++j) offsets[j] += offsets[j - 1];
+  const std::size_t nnz = offsets[n_aug];
+  std::vector<std::uint32_t> cols(nnz);
+  std::vector<double> vals(nnz);
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const lp::Term& t : source->rows[i]) {
+      const std::uint32_t pos = cursor[t.var]++;
+      cols[pos] = static_cast<std::uint32_t>(i);
+      vals[pos] = t.coef;
+    }
+  }
+  k = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (is_artificial[basic[i]]) {
+      const std::uint32_t pos = cursor[n + k]++;
+      cols[pos] = static_cast<std::uint32_t>(i);
+      vals[pos] = 1.0;
+      ++k;
+    }
+  }
+  return sparse::CsrMatrix<double>(n_aug, m, std::move(offsets),
+                                   std::move(cols), std::move(vals));
+}
+
+vblas::Matrix<double> AugmentedLp::dense_a() const {
+  GS_CHECK_MSG(source != nullptr, "AugmentedLp not initialized");
+  vblas::Matrix<double> a(m, n_aug);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const lp::Term& t : source->rows[i]) a(i, t.var) = t.coef;
+  }
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (is_artificial[basic[i]]) a(i, n + k++) = 1.0;
+  }
+  return a;
+}
+
+}  // namespace gs::simplex

@@ -1,0 +1,60 @@
+// Shared pre-solve scaffolding: artificial-variable augmentation and the
+// slack crash basis. Every engine consumes this so phase handling is
+// identical across the device solver and the CPU baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/standard_form.hpp"
+#include "sparse/csr.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::simplex {
+
+/// Standard form + artificial columns + the crash basis.
+///
+/// Columns [0, n) are the standard-form columns; columns [n, n_aug) are
+/// artificial unit columns, appended only for rows whose slack cannot seed
+/// the initial basis ('>=' and '=' rows). Artificial columns never re-enter
+/// the basis once they leave (they are permanently masked from pricing).
+struct AugmentedLp {
+  std::size_t m = 0;      ///< rows
+  std::size_t n = 0;      ///< standard-form columns
+  std::size_t n_aug = 0;  ///< n + num_artificial
+
+  std::vector<double> c_phase1;  ///< 1 on artificials, 0 elsewhere
+  std::vector<double> c_phase2;  ///< standard-form c, 0 on artificials
+  std::vector<double> b;
+
+  /// Initial basis: basic[i] is the basic column of row i (a slack or an
+  /// artificial). The initial basis matrix is diagonal; its inverse is
+  /// diag(binv_diag), and beta = B^-1 b is beta_init.
+  std::vector<std::uint32_t> basic;
+  std::vector<double> binv_diag;
+  std::vector<double> beta_init;
+
+  std::vector<bool> is_artificial;       ///< per column
+  std::size_t num_artificial = 0;
+  /// Row covered by each artificial: column n + k is the unit column of
+  /// row artificial_rows[k].
+  std::vector<std::uint32_t> artificial_rows;
+
+  const lp::StandardFormLp* source = nullptr;
+
+  /// Augmented A^T, dense (n_aug x m): row j is column j of A. Transposed
+  /// storage gives contiguous column reads, the layout the paper uses.
+  [[nodiscard]] vblas::Matrix<double> dense_at() const;
+
+  /// Augmented A^T in CSR (for the sparse engine).
+  [[nodiscard]] sparse::CsrMatrix<double> csr_at() const;
+
+  /// Augmented A, dense (m x n_aug): the tableau baseline's layout.
+  [[nodiscard]] vblas::Matrix<double> dense_a() const;
+};
+
+/// Build the augmentation + crash basis. Requires a valid standard form
+/// (b >= 0, each slack column with a single positive entry).
+[[nodiscard]] AugmentedLp augment(const lp::StandardFormLp& sf);
+
+}  // namespace gs::simplex

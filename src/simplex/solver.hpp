@@ -1,0 +1,62 @@
+// Convenience umbrella header + engine-selection front end.
+#pragma once
+
+#include <memory>
+
+#include "simplex/device_revised.hpp"
+#include "simplex/host_revised.hpp"
+#include "simplex/tableau.hpp"
+#include "simplex/types.hpp"
+#include "vgpu/machine_model.hpp"
+
+namespace gs::simplex {
+
+/// Which implementation to run.
+enum class Engine {
+  kDeviceRevised,        ///< the paper's GPU solver (double precision)
+  kDeviceRevisedFloat,   ///< same, single precision (Fig. 3)
+  kHostRevised,          ///< sequential CPU revised simplex baseline
+  kTableau,              ///< full-tableau baseline
+  kSparseRevised,        ///< CSR device solver (Ext. C, double precision)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Engine e) noexcept {
+  switch (e) {
+    case Engine::kDeviceRevised: return "device-revised";
+    case Engine::kDeviceRevisedFloat: return "device-revised-float";
+    case Engine::kHostRevised: return "host-revised";
+    case Engine::kTableau: return "tableau";
+    case Engine::kSparseRevised: return "sparse-revised";
+  }
+  return "?";
+}
+
+/// One-call solve with a fresh device of the given machine model (device
+/// engines) or the given model as the CPU cost meter (host engines).
+[[nodiscard]] inline SolveResult solve(
+    const lp::LpProblem& problem, Engine engine,
+    const SolverOptions& options = {},
+    const vgpu::MachineModel& device_model = vgpu::gtx280_model(),
+    const vgpu::MachineModel& host_model = vgpu::cpu2009_model()) {
+  switch (engine) {
+    case Engine::kDeviceRevised: {
+      vgpu::Device dev(device_model);
+      return DeviceRevisedSimplex<double>(dev, options).solve(problem);
+    }
+    case Engine::kDeviceRevisedFloat: {
+      vgpu::Device dev(device_model);
+      return DeviceRevisedSimplex<float>(dev, options).solve(problem);
+    }
+    case Engine::kHostRevised:
+      return HostRevisedSimplex(options, host_model).solve(problem);
+    case Engine::kTableau:
+      return TableauSimplex(options, host_model).solve(problem);
+    case Engine::kSparseRevised: {
+      vgpu::Device dev(device_model);
+      return SparseRevisedSimplex<double>(dev, options).solve(problem);
+    }
+  }
+  GS_FAIL("unknown engine");
+}
+
+}  // namespace gs::simplex

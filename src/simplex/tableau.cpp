@@ -1,0 +1,265 @@
+#include "simplex/tableau.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "simplex/cost_meter.hpp"
+#include "simplex/phase_setup.hpp"
+#include "support/timer.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::simplex {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Full tableau: body is B^-1 A (m x n_aug), rhs is B^-1 b, and reduced
+/// costs are maintained in `drow` by the same eliminations.
+struct Tableau {
+  Tableau(const AugmentedLp& aug_in, const SolverOptions& opt_in,
+          CostMeter& meter_in)
+      : aug(aug_in),
+        m(aug_in.m),
+        n_aug(aug_in.n_aug),
+        body(aug_in.dense_a()),
+        rhs(aug_in.b),
+        drow(aug_in.n_aug, 0.0),
+        basic(aug_in.basic),
+        in_basis(aug_in.n_aug, false),
+        opt(opt_in),
+        meter(meter_in) {
+    // Normalize each row by its crash-basis pivot so the basis columns are
+    // unit columns (the crash basis is diagonal, so this is a row scale).
+    for (std::size_t i = 0; i < m; ++i) {
+      const double s = aug.binv_diag[i];
+      if (s != 1.0) {
+        auto row = body.row(i);
+        for (std::size_t j = 0; j < n_aug; ++j) row[j] *= s;
+        rhs[i] *= s;
+      }
+    }
+    for (std::uint32_t col : basic) in_basis[col] = true;
+  }
+
+  /// Install phase costs: drow = c - c_B^T (B^-1 A), z = c_B^T rhs.
+  void price_from_scratch(const std::vector<double>& c) {
+    for (std::size_t j = 0; j < n_aug; ++j) drow[j] = c[j];
+    z = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double cbi = c[basic[i]];
+      if (cbi == 0.0) continue;
+      const auto row = body.row(i);
+      for (std::size_t j = 0; j < n_aug; ++j) drow[j] -= cbi * row[j];
+      z += cbi * rhs[i];
+    }
+    meter.charge("reprice", 2.0 * double(m) * double(n_aug),
+                 double((m * n_aug + n_aug) * sizeof(double)));
+  }
+
+  [[nodiscard]] bool may_enter(std::size_t j) const {
+    return !in_basis[j] && !aug.is_artificial[j];
+  }
+
+  const AugmentedLp& aug;
+  std::size_t m, n_aug;
+  vblas::Matrix<double> body;
+  std::vector<double> rhs;
+  std::vector<double> drow;
+  double z = 0.0;
+  std::vector<std::uint32_t> basic;
+  std::vector<bool> in_basis;
+  const SolverOptions& opt;
+  CostMeter& meter;
+};
+
+[[nodiscard]] std::optional<std::size_t> select_entering(const Tableau& t,
+                                                         bool bland) {
+  const double tol = t.opt.opt_tol;
+  if (bland) {
+    for (std::size_t j = 0; j < t.n_aug; ++j) {
+      if (t.may_enter(j) && t.drow[j] < -tol) return j;
+    }
+    return std::nullopt;
+  }
+  std::size_t best = t.n_aug;
+  double best_d = -tol;
+  for (std::size_t j = 0; j < t.n_aug; ++j) {
+    if (t.may_enter(j) && t.drow[j] < best_d) {
+      best_d = t.drow[j];
+      best = j;
+    }
+  }
+  if (best == t.n_aug) return std::nullopt;
+  return best;
+}
+
+/// Gauss-Jordan elimination around pivot (p, q) over the whole tableau.
+void eliminate(Tableau& t, std::size_t p, std::size_t q) {
+  auto prow = t.body.row(p);
+  const double pivot = prow[q];
+  for (std::size_t j = 0; j < t.n_aug; ++j) prow[j] /= pivot;
+  t.rhs[p] /= pivot;
+  for (std::size_t i = 0; i < t.m; ++i) {
+    if (i == p) continue;
+    auto row = t.body.row(i);
+    const double f = row[q];
+    if (f == 0.0) continue;
+    for (std::size_t j = 0; j < t.n_aug; ++j) row[j] -= f * prow[j];
+    t.rhs[i] = std::max(0.0, t.rhs[i] - f * t.rhs[p]);
+  }
+  const double fd = t.drow[q];
+  if (fd != 0.0) {
+    for (std::size_t j = 0; j < t.n_aug; ++j) t.drow[j] -= fd * prow[j];
+    t.z += fd * t.rhs[p];  // z tracks -c_B beta convention via elimination
+  }
+  t.meter.charge("eliminate", 2.0 * double(t.m + 1) * double(t.n_aug),
+                 double((2 * (t.m + 1) * t.n_aug) * sizeof(double)));
+  const std::uint32_t leaving = t.basic[p];
+  t.basic[p] = static_cast<std::uint32_t>(q);
+  t.in_basis[leaving] = false;
+  t.in_basis[q] = true;
+}
+
+enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
+
+LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats) {
+  std::size_t since_improve = 0;
+  double last_obj = kInf;
+  for (std::size_t iter = 0; iter < budget; ++iter) {
+    const bool bland =
+        t.opt.pricing == PricingRule::kBland ||
+        (t.opt.pricing == PricingRule::kHybrid &&
+         since_improve >= t.opt.degeneracy_window);
+    const auto entering = select_entering(t, bland);
+    if (!entering.has_value()) return LoopExit::kOptimal;
+    const std::size_t q = *entering;
+    // Ratio test on column q of the tableau body.
+    std::size_t p = t.m;
+    double theta = kInf;
+    for (std::size_t i = 0; i < t.m; ++i) {
+      const double a = t.body(i, q);
+      if (a > t.opt.pivot_tol) {
+        const double r = t.rhs[i] / a;
+        if (r < theta) {
+          theta = r;
+          p = i;
+        }
+      }
+    }
+    t.meter.charge("ratio", double(t.m), double(2 * t.m * sizeof(double)));
+    if (p == t.m) return LoopExit::kUnbounded;
+    eliminate(t, p, q);
+    ++stats.iterations;
+    const double obj = t.z;
+    if (obj < last_obj - 1e-12 * (1.0 + std::abs(last_obj))) {
+      since_improve = 0;
+    } else {
+      ++since_improve;
+    }
+    last_obj = obj;
+  }
+  return LoopExit::kIterationLimit;
+}
+
+[[nodiscard]] double objective_of(const Tableau& t,
+                                  const std::vector<double>& c) {
+  double z = 0.0;
+  for (std::size_t i = 0; i < t.m; ++i) z += c[t.basic[i]] * t.rhs[i];
+  return z;
+}
+
+/// Pivot lingering zero-level artificials out where possible.
+void drive_out_artificials(Tableau& t) {
+  for (std::size_t i = 0; i < t.m; ++i) {
+    if (!t.aug.is_artificial[t.basic[i]]) continue;
+    for (std::size_t j = 0; j < t.aug.n; ++j) {
+      if (!t.in_basis[j] && std::abs(t.body(i, j)) > 1e-7) {
+        eliminate(t, i, j);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SolveResult TableauSimplex::solve(const lp::LpProblem& problem) const {
+  const lp::StandardFormLp sf = lp::to_standard_form(problem);
+  return solve_standard(sf);
+}
+
+SolveResult TableauSimplex::solve_standard(
+    const lp::StandardFormLp& sf) const {
+  WallTimer wall;
+  CostMeter meter(model_);
+  const AugmentedLp aug = augment(sf);
+  Tableau tab(aug, options_, meter);
+
+  SolveResult result;
+  auto finish = [&](SolveStatus status) -> SolveResult {
+    result.status = status;
+    result.stats.wall_seconds = wall.seconds();
+    result.stats.device_stats = meter.stats();
+    result.stats.sim_seconds = meter.sim_seconds();
+    return result;
+  };
+
+  std::size_t budget = options_.max_iterations;
+  if (aug.num_artificial > 0) {
+    tab.price_from_scratch(aug.c_phase1);
+    const LoopExit exit = run_loop(tab, budget, result.stats);
+    result.stats.phase1_iterations = result.stats.iterations;
+    if (exit == LoopExit::kIterationLimit) {
+      return finish(SolveStatus::kIterationLimit);
+    }
+    if (exit == LoopExit::kUnbounded) {
+      return finish(SolveStatus::kNumericalTrouble);
+    }
+    const double feas_tol =
+        1e-6 * (1.0 + *std::max_element(aug.b.begin(), aug.b.end()));
+    if (objective_of(tab, aug.c_phase1) > feas_tol) {
+      return finish(SolveStatus::kInfeasible);
+    }
+    drive_out_artificials(tab);
+    budget -= std::min(budget, result.stats.iterations);
+  }
+
+  tab.price_from_scratch(aug.c_phase2);
+  const LoopExit exit = run_loop(tab, budget, result.stats);
+  if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
+  if (exit == LoopExit::kIterationLimit) {
+    return finish(SolveStatus::kIterationLimit);
+  }
+
+  std::vector<double> x_std(aug.n, 0.0);
+  for (std::size_t i = 0; i < aug.m; ++i) {
+    if (tab.basic[i] < aug.n) x_std[tab.basic[i]] = tab.rhs[i];
+  }
+  result.x = sf.recover(x_std);
+  double z = 0.0;
+  for (std::size_t j = 0; j < aug.n; ++j) z += sf.c[j] * x_std[j];
+  result.objective = sf.original_objective(z);
+  // Duals from the reduced costs of each row's identity column (its slack,
+  // or its artificial where no slack exists): d_col = -y_i at optimality.
+  {
+    std::vector<double> pi(aug.m, 0.0);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < aug.m; ++i) {
+      std::size_t col;
+      if (sf.slack_col[i] >= 0) {
+        col = static_cast<std::size_t>(sf.slack_col[i]);
+      } else {
+        col = aug.n + k++;
+      }
+      pi[i] = -tab.drow[col];
+    }
+    result.y = sf.recover_duals(pi);
+  }
+  return finish(SolveStatus::kOptimal);
+}
+
+}  // namespace gs::simplex

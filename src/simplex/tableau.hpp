@@ -1,0 +1,30 @@
+// Classical dense full-tableau simplex: the naive baseline.
+//
+// Maintains the entire (m+1) x (n_aug+1) tableau and eliminates around the
+// pivot each iteration — O(m * n) work per iteration regardless of how many
+// columns actually matter. Included because the paper's framing (and every
+// follow-on) measures the revised method against it.
+#pragma once
+
+#include "lp/problem.hpp"
+#include "lp/standard_form.hpp"
+#include "simplex/types.hpp"
+#include "vgpu/machine_model.hpp"
+
+namespace gs::simplex {
+
+class TableauSimplex {
+ public:
+  explicit TableauSimplex(SolverOptions options = {},
+                          vgpu::MachineModel model = vgpu::cpu2009_model())
+      : options_(options), model_(std::move(model)) {}
+
+  [[nodiscard]] SolveResult solve(const lp::LpProblem& problem) const;
+  [[nodiscard]] SolveResult solve_standard(const lp::StandardFormLp& sf) const;
+
+ private:
+  SolverOptions options_;
+  vgpu::MachineModel model_;
+};
+
+}  // namespace gs::simplex

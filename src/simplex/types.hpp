@@ -1,0 +1,136 @@
+// Shared solver types: options, statuses, statistics, results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vgpu/device.hpp"
+
+namespace gs::simplex {
+
+/// Terminal state of a solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalTrouble,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNumericalTrouble: return "numerical-trouble";
+  }
+  return "?";
+}
+
+/// Entering-variable selection rule.
+enum class PricingRule {
+  kDantzig,  ///< most negative reduced cost (parallel argmin)
+  kBland,    ///< lowest-index negative reduced cost (anti-cycling, terminates)
+  kHybrid,   ///< Dantzig, falling back to Bland during degeneracy streaks
+  kDevex,    ///< reference-framework Devex weights (device engine only)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PricingRule r) noexcept {
+  switch (r) {
+    case PricingRule::kDantzig: return "dantzig";
+    case PricingRule::kBland: return "bland";
+    case PricingRule::kHybrid: return "hybrid";
+    case PricingRule::kDevex: return "devex";
+  }
+  return "?";
+}
+
+/// Basis-inverse representation (Ext. B ablation).
+enum class BasisScheme {
+  kExplicitInverse,  ///< dense B^-1, rank-1 Gauss-Jordan update (the paper's)
+  kProductForm,      ///< eta file + periodic reinversion
+  kLuFactors,        ///< LU factors + eta file; FTRAN/BTRAN as blocked trsv
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BasisScheme b) noexcept {
+  switch (b) {
+    case BasisScheme::kExplicitInverse: return "explicit-inverse";
+    case BasisScheme::kProductForm: return "product-form";
+    case BasisScheme::kLuFactors: return "lu-factors";
+  }
+  return "?";
+}
+
+/// Knobs common to every engine. Engines ignore options they do not model
+/// (e.g. the tableau baseline has no basis scheme).
+struct SolverOptions {
+  std::size_t max_iterations = 50000;
+
+  /// Optimality tolerance: entering candidates need d_j < -opt_tol.
+  double opt_tol = 1e-7;
+  /// Ratio-test pivot tolerance: rows with alpha_i <= pivot_tol are skipped.
+  double pivot_tol = 1e-9;
+  /// If > 0, values with |v| < round_tol are flushed to zero in the basis
+  /// update (the numerical-stability countermeasure evaluated in Ext. B).
+  double round_tol = 0.0;
+
+  PricingRule pricing = PricingRule::kHybrid;
+  /// Hybrid rule: switch to Bland after this many iterations without strict
+  /// objective improvement; switch back on improvement.
+  std::size_t degeneracy_window = 40;
+
+  /// Compute post-optimal sensitivity ranges (HostRevisedSimplex only).
+  bool ranging = false;
+
+  BasisScheme basis = BasisScheme::kExplicitInverse;
+  /// Product-form basis: reinvert after this many etas (0 = at m etas).
+  std::size_t reinversion_period = 0;
+  /// Explicit inverse: recompute B^-1 from scratch every this many
+  /// iterations to shed accumulated rounding error (0 = never).
+  std::size_t refactor_period = 0;
+};
+
+/// Per-phase and aggregate counters.
+struct SolverStats {
+  std::size_t iterations = 0;         ///< total simplex iterations (both phases)
+  std::size_t phase1_iterations = 0;
+  double wall_seconds = 0.0;          ///< measured host wall time
+  double sim_seconds = 0.0;           ///< modelled machine time
+  vgpu::DeviceStats device_stats;     ///< per-kernel breakdown (device engines)
+};
+
+/// Post-optimal sensitivity ranges (HostRevisedSimplex with
+/// SolverOptions::ranging). All values are in the original problem's
+/// orientation and indexing.
+struct RangingInfo {
+  /// Per original constraint: the rhs interval over which the optimal
+  /// basis stays optimal (objective moves at rate y_i inside it).
+  std::vector<double> rhs_lower, rhs_upper;
+  /// Per original variable: the objective-coefficient interval over which
+  /// the current optimal point stays optimal. NaN bounds mark variables
+  /// whose transformation (free split) is not supported for ranging.
+  std::vector<double> cost_lower, cost_upper;
+};
+
+/// Outcome of a solve, mapped back to the original problem's variables.
+struct SolveResult {
+  SolveStatus status = SolveStatus::kNumericalTrouble;
+  double objective = 0.0;        ///< original orientation; valid iff optimal
+  std::vector<double> x;         ///< original variables; valid iff optimal
+  /// Dual values (shadow prices), one per original constraint:
+  /// y_i = d objective / d rhs_i. Valid iff optimal.
+  std::vector<double> y;
+  /// Sensitivity ranges; present iff requested and the solve was optimal.
+  std::optional<RangingInfo> ranging;
+  SolverStats stats;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+}  // namespace gs::simplex

@@ -1,0 +1,34 @@
+// COO <-> CSR conversions.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace gs::sparse {
+
+/// Convert a COO matrix to CSR. The COO matrix is canonicalized first
+/// (sorted, duplicates merged, zeros dropped).
+template <typename T>
+[[nodiscard]] CsrMatrix<T> to_csr(CooMatrix<T> coo) {
+  coo.canonicalize();
+  std::vector<std::uint32_t> offsets(coo.rows() + 1, 0);
+  for (std::uint32_t r : coo.row_indices()) ++offsets[r + 1];
+  for (std::size_t i = 1; i <= coo.rows(); ++i) offsets[i] += offsets[i - 1];
+  return CsrMatrix<T>(coo.rows(), coo.cols(), std::move(offsets),
+                      coo.col_indices(), coo.values());
+}
+
+/// Convert CSR back to (canonical) COO.
+template <typename T>
+[[nodiscard]] CooMatrix<T> to_coo(const CsrMatrix<T>& csr) {
+  CooMatrix<T> out(csr.rows(), csr.cols());
+  for (std::size_t r = 0; r < csr.rows(); ++r) {
+    for (std::uint32_t k = csr.row_offsets()[r]; k < csr.row_offsets()[r + 1];
+         ++k) {
+      out.add(r, csr.col_indices()[k], csr.values()[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gs::sparse

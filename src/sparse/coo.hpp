@@ -1,0 +1,92 @@
+// Coordinate-list (COO) sparse matrix: the construction format.
+//
+// Triplets may be appended in any order; canonicalize() sorts by (row, col)
+// and merges duplicates, after which the matrix is ready for CSR conversion.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gs::sparse {
+
+template <typename T>
+class CooMatrix {
+ public:
+  CooMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// Append one entry. Zero values are kept until canonicalize().
+  void add(std::size_t row, std::size_t col, T value) {
+    GS_CHECK_MSG(row < rows_ && col < cols_, "COO entry out of range");
+    row_indices_.push_back(static_cast<std::uint32_t>(row));
+    col_indices_.push_back(static_cast<std::uint32_t>(col));
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& row_indices() const noexcept {
+    return row_indices_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_indices() const noexcept {
+    return col_indices_;
+  }
+  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+
+  /// Sort by (row, col), merge duplicate coordinates by summation and drop
+  /// exact zeros. Idempotent.
+  void canonicalize() {
+    std::vector<std::size_t> order(values_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (row_indices_[a] != row_indices_[b])
+        return row_indices_[a] < row_indices_[b];
+      return col_indices_[a] < col_indices_[b];
+    });
+    std::vector<std::uint32_t> r, c;
+    std::vector<T> v;
+    r.reserve(values_.size());
+    c.reserve(values_.size());
+    v.reserve(values_.size());
+    for (std::size_t k : order) {
+      if (!v.empty() && r.back() == row_indices_[k] &&
+          c.back() == col_indices_[k]) {
+        v.back() += values_[k];
+      } else {
+        r.push_back(row_indices_[k]);
+        c.push_back(col_indices_[k]);
+        v.push_back(values_[k]);
+      }
+    }
+    // Drop zeros created by cancellation (or inserted as zeros).
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      if (v[k] != T{0}) {
+        r[w] = r[k];
+        c[w] = c[k];
+        v[w] = v[k];
+        ++w;
+      }
+    }
+    r.resize(w);
+    c.resize(w);
+    v.resize(w);
+    row_indices_ = std::move(r);
+    col_indices_ = std::move(c);
+    values_ = std::move(v);
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint32_t> row_indices_;
+  std::vector<std::uint32_t> col_indices_;
+  std::vector<T> values_;
+};
+
+}  // namespace gs::sparse

@@ -1,0 +1,148 @@
+// Compressed sparse row (CSR) matrix: the compute format.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::sparse {
+
+template <typename T>
+class CsrMatrix {
+ public:
+  CsrMatrix() : row_offsets_(1, 0) {}
+
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::uint32_t> row_offsets,
+            std::vector<std::uint32_t> col_indices, std::vector<T> values)
+      : rows_(rows),
+        cols_(cols),
+        row_offsets_(std::move(row_offsets)),
+        col_indices_(std::move(col_indices)),
+        values_(std::move(values)) {
+    GS_CHECK_MSG(row_offsets_.size() == rows_ + 1, "bad row_offsets length");
+    GS_CHECK_MSG(col_indices_.size() == values_.size(), "index/value mismatch");
+    GS_CHECK_MSG(row_offsets_.back() == values_.size(), "bad final offset");
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+  [[nodiscard]] double density() const noexcept {
+    const double cells = static_cast<double>(rows_) * static_cast<double>(cols_);
+    return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& row_offsets() const noexcept {
+    return row_offsets_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_indices() const noexcept {
+    return col_indices_;
+  }
+  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+
+  /// Element lookup: O(row nnz) scan of the row.
+  [[nodiscard]] T at(std::size_t row, std::size_t col) const {
+    GS_CHECK_MSG(row < rows_ && col < cols_, "CSR at() out of range");
+    for (std::uint32_t k = row_offsets_[row]; k < row_offsets_[row + 1]; ++k) {
+      if (col_indices_[k] == col) return values_[k];
+    }
+    return T{0};
+  }
+
+  [[nodiscard]] std::size_t row_nnz(std::size_t row) const {
+    GS_CHECK(row < rows_);
+    return row_offsets_[row + 1] - row_offsets_[row];
+  }
+
+  /// Build from a dense host matrix, dropping entries with |v| <= drop_tol.
+  [[nodiscard]] static CsrMatrix from_dense(const vblas::Matrix<T>& dense,
+                                            T drop_tol = T{0}) {
+    CsrMatrix out;
+    out.rows_ = dense.rows();
+    out.cols_ = dense.cols();
+    out.row_offsets_.assign(1, 0);
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+      for (std::size_t c = 0; c < dense.cols(); ++c) {
+        const T v = dense(r, c);
+        if (std::abs(v) > drop_tol) {
+          out.col_indices_.push_back(static_cast<std::uint32_t>(c));
+          out.values_.push_back(v);
+        }
+      }
+      out.row_offsets_.push_back(
+          static_cast<std::uint32_t>(out.values_.size()));
+    }
+    return out;
+  }
+
+  [[nodiscard]] vblas::Matrix<T> to_dense() const {
+    vblas::Matrix<T> out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::uint32_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        out(r, col_indices_[k]) = values_[k];
+      }
+    }
+    return out;
+  }
+
+  /// Transposed copy (counting sort over columns; O(nnz + cols)).
+  [[nodiscard]] CsrMatrix transposed() const {
+    CsrMatrix out;
+    out.rows_ = cols_;
+    out.cols_ = rows_;
+    out.row_offsets_.assign(cols_ + 1, 0);
+    for (std::uint32_t c : col_indices_) ++out.row_offsets_[c + 1];
+    for (std::size_t i = 1; i <= cols_; ++i) {
+      out.row_offsets_[i] += out.row_offsets_[i - 1];
+    }
+    out.col_indices_.resize(nnz());
+    out.values_.resize(nnz());
+    std::vector<std::uint32_t> cursor(out.row_offsets_.begin(),
+                                      out.row_offsets_.end() - 1);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::uint32_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        const std::uint32_t c = col_indices_[k];
+        const std::uint32_t pos = cursor[c]++;
+        out.col_indices_[pos] = static_cast<std::uint32_t>(r);
+        out.values_[pos] = values_[k];
+      }
+    }
+    return out;
+  }
+
+  /// Copy with entries |v| <= tol removed (the inverse-basis filtering step
+  /// that keeps iteration cost proportional to true fill).
+  [[nodiscard]] CsrMatrix filtered(T tol) const {
+    CsrMatrix out;
+    out.rows_ = rows_;
+    out.cols_ = cols_;
+    out.row_offsets_.assign(1, 0);
+    out.col_indices_.reserve(nnz());
+    out.values_.reserve(nnz());
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::uint32_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        if (std::abs(values_[k]) > tol) {
+          out.col_indices_.push_back(col_indices_[k]);
+          out.values_.push_back(values_[k]);
+        }
+      }
+      out.row_offsets_.push_back(
+          static_cast<std::uint32_t>(out.values_.size()));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> row_offsets_;
+  std::vector<std::uint32_t> col_indices_;
+  std::vector<T> values_;
+};
+
+}  // namespace gs::sparse

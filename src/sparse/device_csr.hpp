@@ -1,0 +1,140 @@
+// Device-resident CSR matrix and sparse kernels (SpMV and friends).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace gs::sparse {
+
+/// CSR matrix whose arrays live in device memory. Construction uploads all
+/// three arrays (charged as H2D copies, as cudaMemcpy would be).
+template <typename T>
+class DeviceCsr {
+ public:
+  DeviceCsr(vgpu::Device& device, const CsrMatrix<T>& host)
+      : rows_(host.rows()),
+        cols_(host.cols()),
+        row_offsets_(device, std::span<const std::uint32_t>(host.row_offsets())),
+        col_indices_(device, std::span<const std::uint32_t>(host.col_indices())),
+        values_(device, std::span<const T>(host.values())) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+  [[nodiscard]] vgpu::Device& device() const noexcept {
+    return values_.device();
+  }
+
+  [[nodiscard]] const vgpu::DeviceBuffer<std::uint32_t>& row_offsets() const noexcept {
+    return row_offsets_;
+  }
+  [[nodiscard]] const vgpu::DeviceBuffer<std::uint32_t>& col_indices() const noexcept {
+    return col_indices_;
+  }
+  [[nodiscard]] const vgpu::DeviceBuffer<T>& values() const noexcept {
+    return values_;
+  }
+
+  [[nodiscard]] CsrMatrix<T> to_host() const {
+    return CsrMatrix<T>(rows_, cols_, row_offsets_.to_host(),
+                        col_indices_.to_host(), values_.to_host());
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  vgpu::DeviceBuffer<std::uint32_t> row_offsets_;
+  vgpu::DeviceBuffer<std::uint32_t> col_indices_;
+  vgpu::DeviceBuffer<T> values_;
+};
+
+/// y <- alpha * A x + beta * y for CSR A (row-parallel scalar kernel).
+template <typename T>
+void spmv(T alpha, const DeviceCsr<T>& a, const vgpu::DeviceBuffer<T>& x,
+          T beta, vgpu::DeviceBuffer<T>& y) {
+  GS_CHECK_MSG(a.cols() == x.size() && a.rows() == y.size(),
+               "spmv shape mismatch");
+  auto offs = a.row_offsets().device_span();
+  auto cols = a.col_indices().device_span();
+  auto vals = a.values().device_span();
+  auto xs = x.device_span();
+  auto ys = y.device_span();
+  // Per nonzero: one multiply-add, value + column index + gathered x element.
+  const double fl = 2.0 * static_cast<double>(a.nnz());
+  const double by = static_cast<double>(
+      a.nnz() * (sizeof(T) + sizeof(std::uint32_t) + sizeof(T)) +
+      a.rows() * (2 * sizeof(T) + sizeof(std::uint32_t)));
+  a.device().launch_blocks(
+      "spmv", a.rows(), vgpu::Device::kBlockSize,
+      vgpu::KernelCost{fl, by, sizeof(T)},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          T acc{0};
+          for (std::uint32_t k = offs[r]; k < offs[r + 1]; ++k) {
+            acc += vals[k] * xs[cols[k]];
+          }
+          ys[r] = alpha * acc + beta * ys[r];
+        }
+      });
+}
+
+/// Gather one CSR row of A into a dense device vector (zero-filled first).
+/// With A stored transposed this is the "read one column of the constraint
+/// matrix" step of revised simplex.
+template <typename T>
+void scatter_row_to_dense(const DeviceCsr<T>& a, std::size_t row,
+                          vgpu::DeviceBuffer<T>& out) {
+  GS_CHECK_MSG(row < a.rows() && out.size() == a.cols(),
+               "scatter_row_to_dense shape mismatch");
+  auto offs = a.row_offsets().device_span();
+  auto cols = a.col_indices().device_span();
+  auto vals = a.values().device_span();
+  auto os = out.device_span();
+  // Zero-fill then scatter the row's nonzeros.
+  a.device().launch_blocks(
+      "row_zero_fill", out.size(), vgpu::Device::kBlockSize,
+      vgpu::KernelCost{0.0, static_cast<double>(out.size() * sizeof(T)),
+                       sizeof(T)},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) os[i] = T{0};
+      });
+  const std::size_t row_nnz = offs[row + 1] - offs[row];
+  a.device().launch_blocks(
+      "row_scatter", row_nnz, vgpu::Device::kBlockSize,
+      vgpu::KernelCost{0.0,
+                       static_cast<double>(
+                           row_nnz * (2 * sizeof(T) + sizeof(std::uint32_t))),
+                       sizeof(T)},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::uint32_t idx = offs[row] + static_cast<std::uint32_t>(k);
+          os[cols[idx]] = vals[idx];
+        }
+      });
+}
+
+namespace ref {
+
+/// Serial host SpMV oracle for tests.
+template <typename T>
+[[nodiscard]] std::vector<T> spmv(const CsrMatrix<T>& a,
+                                  std::span<const T> x) {
+  GS_CHECK(a.cols() == x.size());
+  std::vector<T> y(a.rows(), T{0});
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    T acc{0};
+    for (std::uint32_t k = a.row_offsets()[r]; k < a.row_offsets()[r + 1];
+         ++k) {
+      acc += a.values()[k] * x[a.col_indices()[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace ref
+
+}  // namespace gs::sparse

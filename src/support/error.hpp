@@ -1,0 +1,49 @@
+// Error handling primitives shared across the library.
+//
+// Construction-time and precondition failures throw `gs::Error`; solver
+// outcomes (infeasible / unbounded / iteration limit) are ordinary return
+// values, never exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gs {
+
+/// Exception type for all invariant/precondition violations in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(std::string_view file, int line,
+                              std::string_view cond, std::string_view msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed";
+  if (!cond.empty()) os << " (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace gs
+
+/// Precondition check that is always active (library is correctness-first).
+#define GS_CHECK(cond)                                            \
+  do {                                                            \
+    if (!(cond)) ::gs::detail::fail(__FILE__, __LINE__, #cond, ""); \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define GS_CHECK_MSG(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) ::gs::detail::fail(__FILE__, __LINE__, #cond, msg); \
+  } while (false)
+
+/// Unconditional failure with a message.
+#define GS_FAIL(msg) ::gs::detail::fail(__FILE__, __LINE__, "", msg)

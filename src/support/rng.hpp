@@ -1,0 +1,66 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (instance generators, perturbed
+// workloads, property-test sweeps) derives its randomness from these
+// generators so that all tables and figures are exactly regenerable from a
+// seed. xoshiro256** is the workhorse generator; splitmix64 seeds it and
+// derives independent child streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace gs {
+
+/// splitmix64: tiny, high-quality seeding generator (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Derive an independent child stream (for per-module determinism).
+  [[nodiscard]] Xoshiro256 split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double normal() noexcept;
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace gs

@@ -1,0 +1,81 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace gs {
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  GS_CHECK_MSG(!s.empty(), "empty numeric field");
+  // std::from_chars for double is available in GCC 12.
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  GS_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+               "malformed double: '" + std::string(s) + "'");
+  return value;
+}
+
+long parse_long(std::string_view s) {
+  s = trim(s);
+  GS_CHECK_MSG(!s.empty(), "empty integer field");
+  long value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  GS_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+               "malformed integer: '" + std::string(s) + "'");
+  return value;
+}
+
+std::string format_double(double v, int significant_digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", significant_digits, v);
+  return buf;
+}
+
+}  // namespace gs

@@ -1,0 +1,33 @@
+// Small string utilities used by the LP text reader and table printer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gs {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single delimiter character; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; no empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Parse a double; throws gs::Error on malformed input.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Parse a non-negative integer; throws gs::Error on malformed input.
+[[nodiscard]] long parse_long(std::string_view s);
+
+/// printf-style %.*g formatting of a double with given significant digits.
+[[nodiscard]] std::string format_double(double v, int significant_digits = 6);
+
+}  // namespace gs

@@ -1,0 +1,42 @@
+// Aligned ASCII table printer + CSV writer.
+//
+// Every bench binary renders its paper table/figure series through this so
+// the output format is uniform and machine-recoverable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+/// Column-aligned table with a header row. Cells are strings; numeric
+/// convenience overloads format with 6 significant digits.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& new_row();
+  Table& add(std::string cell);
+  Table& add(double value);
+  Table& add(long value);
+  Table& add(int value) { return add(static_cast<long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long>(value)); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Render to an output stream with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (headers first). Cells containing commas are quoted.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gs

@@ -1,0 +1,53 @@
+// Device BLAS level 3: blocked dense matrix-matrix multiply.
+//
+// The revised simplex core only needs BLAS-2, but gemm backs the basis
+// reinversion path and the substrate's own validation suite.
+#pragma once
+
+#include "vblas/containers.hpp"
+#include "vgpu/device.hpp"
+
+namespace gs::vblas {
+
+/// C <- alpha * A B + beta * C. A is m x k, B is k x n, C is m x n.
+/// One thread-row per C row; the inner kernel loops k-then-n so B rows
+/// stream sequentially (register-blocked in spirit).
+template <typename T>
+void gemm(T alpha, const DeviceMatrix<T>& a, const DeviceMatrix<T>& b, T beta,
+          DeviceMatrix<T>& c) {
+  GS_CHECK_MSG(a.cols() == b.rows() && a.rows() == c.rows() &&
+                   b.cols() == c.cols(),
+               "gemm shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  auto as = a.device_span();
+  auto bs = b.device_span();
+  auto cs = c.device_span();
+  const double fl = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                    static_cast<double>(k);
+  const double by =
+      static_cast<double>((m * k + k * n + 2 * m * n) * sizeof(T));
+  a.device().launch_blocks(
+      "gemm", m, vgpu::Device::kBlockSize,
+      KernelCost{fl, by, sizeof(T)},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          T* crow = cs.data() + r * n;
+          if (beta == T{0}) {
+            for (std::size_t j = 0; j < n; ++j) crow[j] = T{0};
+          } else if (beta != T{1}) {
+            for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+          }
+          const T* arow = as.data() + r * k;
+          for (std::size_t p = 0; p < k; ++p) {
+            const T av = alpha * arow[p];
+            if (av == T{0}) continue;
+            const T* brow = bs.data() + p * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+}
+
+}  // namespace gs::vblas

@@ -1,0 +1,113 @@
+// Dense host matrix and device matrix containers.
+//
+// Host `Matrix<T>` is a plain row-major dense matrix used for problem
+// assembly and test references. `DeviceMatrix<T>` wraps a DeviceBuffer with
+// shape metadata; its contents move via accounted transfers only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "vgpu/buffer.hpp"
+
+namespace gs::vblas {
+
+/// Row-major dense host matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<T> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
+
+  /// Identity matrix of order n.
+  [[nodiscard]] static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  /// Transposed copy.
+  [[nodiscard]] Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    }
+    return t;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Row-major dense device matrix (device-resident storage).
+template <typename T>
+class DeviceMatrix {
+ public:
+  DeviceMatrix(vgpu::Device& device, std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), buffer_(device, rows * cols) {}
+
+  DeviceMatrix(vgpu::Device& device, const Matrix<T>& host)
+      : rows_(host.rows()), cols_(host.cols()), buffer_(device, host.flat()) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] vgpu::Device& device() const noexcept {
+    return buffer_.device();
+  }
+  [[nodiscard]] vgpu::DeviceBuffer<T>& buffer() noexcept { return buffer_; }
+  [[nodiscard]] const vgpu::DeviceBuffer<T>& buffer() const noexcept {
+    return buffer_;
+  }
+
+  /// Device-side flat view (kernel bodies only, by convention).
+  [[nodiscard]] std::span<T> device_span() noexcept {
+    return buffer_.device_span();
+  }
+  [[nodiscard]] std::span<const T> device_span() const noexcept {
+    return buffer_.device_span();
+  }
+
+  void upload(const Matrix<T>& host) {
+    GS_CHECK_MSG(host.rows() == rows_ && host.cols() == cols_,
+                 "upload shape mismatch");
+    buffer_.upload(host.flat());
+  }
+
+  [[nodiscard]] Matrix<T> to_host() const {
+    Matrix<T> out(rows_, cols_);
+    buffer_.download(out.flat());
+    return out;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  vgpu::DeviceBuffer<T> buffer_;
+};
+
+}  // namespace gs::vblas

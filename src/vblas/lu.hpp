@@ -1,0 +1,102 @@
+// Dense LU factorization with partial pivoting, plus the triangular solves
+// the LU basis scheme needs (FTRAN = solve, BTRAN = transposed solve).
+//
+// Host implementation in double precision: the device engine charges the
+// equivalent blocked-triangular-solve kernel costs through the machine
+// model (a 2009 GPU executes trsv as a chain of dependent panel kernels —
+// which is precisely why the paper preferred an explicit inverse).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::vblas {
+
+/// P A = L U with unit-diagonal L stored below the diagonal of `lu` and U
+/// on/above it; perm[i] is the original row in position i.
+struct LuFactors {
+  Matrix<double> lu;
+  std::vector<std::uint32_t> perm;
+
+  [[nodiscard]] std::size_t order() const noexcept { return lu.rows(); }
+};
+
+/// Factor a (square, nonsingular) matrix. Throws gs::Error when a pivot
+/// column is numerically zero.
+[[nodiscard]] inline LuFactors lu_factor(Matrix<double> a) {
+  GS_CHECK_MSG(a.rows() == a.cols(), "lu_factor: matrix must be square");
+  const std::size_t n = a.rows();
+  LuFactors f;
+  f.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > std::abs(a(pivot, k))) pivot = i;
+    }
+    GS_CHECK_MSG(std::abs(a(pivot, k)) > 0.0, "lu_factor: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(f.perm[k], f.perm[pivot]);
+    }
+    const double d = a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double l = a(i, k) / d;
+      if (l == 0.0) continue;
+      a(i, k) = l;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= l * a(k, j);
+    }
+  }
+  f.lu = std::move(a);
+  return f;
+}
+
+/// Solve A x = b (FTRAN direction): y = L^-1 P b, x = U^-1 y.
+[[nodiscard]] inline std::vector<double> lu_solve(const LuFactors& f,
+                                                  std::span<const double> b) {
+  const std::size_t n = f.order();
+  GS_CHECK_MSG(b.size() == n, "lu_solve dimension mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[f.perm[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= f.lu(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= f.lu(ii, j) * x[j];
+    x[ii] = acc / f.lu(ii, ii);
+  }
+  return x;
+}
+
+/// Solve A^T x = b (BTRAN direction): z = U^-T b, w = L^-T z, x = P^T w.
+[[nodiscard]] inline std::vector<double> lu_solve_transposed(
+    const LuFactors& f, std::span<const double> b) {
+  const std::size_t n = f.order();
+  GS_CHECK_MSG(b.size() == n, "lu_solve_transposed dimension mismatch");
+  std::vector<double> w(b.begin(), b.end());
+  // U^T is lower triangular: forward substitution.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = w[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= f.lu(j, i) * w[j];
+    w[i] = acc / f.lu(i, i);
+  }
+  // L^T is unit upper triangular: backward substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = w[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= f.lu(j, ii) * w[j];
+    w[ii] = acc;
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[f.perm[i]] = w[i];
+  return x;
+}
+
+}  // namespace gs::vblas

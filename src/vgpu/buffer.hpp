@@ -1,0 +1,111 @@
+// Device-resident buffer with explicit, accounted host<->device transfers.
+//
+// Semantically equivalent to cudaMalloc'd memory: the contents are only
+// legitimately touched inside kernel bodies (via device_span()) or moved
+// with upload()/download(), which charge PCIe time on the owning device.
+// The type is move-only, like a unique handle to device memory.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "vgpu/device.hpp"
+
+namespace gs::vgpu {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  /// Allocate `n` elements. Contents are zero-initialized — unlike CUDA this
+  /// is deterministic by design; callers that need garbage tolerance must
+  /// still write before reading.
+  DeviceBuffer(Device& device, std::size_t n)
+      : device_(&device), storage_(n) {}
+
+  /// Allocate and upload in one step (charged as a single H2D copy).
+  DeviceBuffer(Device& device, std::span<const T> host)
+      : device_(&device), storage_(host.size()) {
+    upload(host);
+  }
+
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
+  [[nodiscard]] Device& device() const noexcept { return *device_; }
+
+  /// Device-side view; by convention only dereferenced inside kernel bodies.
+  [[nodiscard]] std::span<T> device_span() noexcept { return storage_; }
+  [[nodiscard]] std::span<const T> device_span() const noexcept {
+    return storage_;
+  }
+
+  /// Copy host -> device (whole buffer or prefix), charging PCIe time.
+  void upload(std::span<const T> host, std::size_t offset = 0) {
+    GS_CHECK_MSG(offset + host.size() <= storage_.size(),
+                 "upload out of range");
+    if (!host.empty()) {
+      std::memcpy(storage_.data() + offset, host.data(),
+                  host.size() * sizeof(T));
+    }
+    device_->account_h2d(host.size() * sizeof(T));
+  }
+
+  /// Copy device -> host, charging PCIe time.
+  void download(std::span<T> host, std::size_t offset = 0) const {
+    GS_CHECK_MSG(offset + host.size() <= storage_.size(),
+                 "download out of range");
+    if (!host.empty()) {
+      std::memcpy(host.data(), storage_.data() + offset,
+                  host.size() * sizeof(T));
+    }
+    device_->account_d2h(host.size() * sizeof(T));
+  }
+
+  [[nodiscard]] std::vector<T> to_host() const {
+    std::vector<T> out(storage_.size());
+    download(out);
+    return out;
+  }
+
+  /// Single-element readback — the latency-dominated copy that punctuates
+  /// every simplex iteration (chosen index, theta, objective delta).
+  [[nodiscard]] T download_value(std::size_t index) const {
+    GS_CHECK_MSG(index < storage_.size(), "download_value out of range");
+    device_->account_d2h(sizeof(T));
+    return storage_[index];
+  }
+
+  /// Single-element write (H2D latency charge).
+  void upload_value(std::size_t index, const T& value) {
+    GS_CHECK_MSG(index < storage_.size(), "upload_value out of range");
+    device_->account_h2d(sizeof(T));
+    storage_[index] = value;
+  }
+
+  /// Device-to-device copy, charged as one bandwidth-bound kernel.
+  void copy_from(const DeviceBuffer& other) {
+    GS_CHECK_MSG(other.size() == size(), "copy_from size mismatch");
+    GS_CHECK_MSG(other.device_ == device_, "cross-device copy unsupported");
+    auto src = other.device_span();
+    auto dst = device_span();
+    device_->launch_blocks(
+        "d2d_copy", size(), Device::kBlockSize,
+        KernelCost{0.0, static_cast<double>(2 * size() * sizeof(T)), sizeof(T)},
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          std::memcpy(dst.data() + begin, src.data() + begin,
+                      (end - begin) * sizeof(T));
+        });
+  }
+
+ private:
+  Device* device_;
+  std::vector<T> storage_;
+};
+
+}  // namespace gs::vgpu

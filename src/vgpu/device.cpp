@@ -1,0 +1,39 @@
+#include "vgpu/device.hpp"
+
+#include <ostream>
+
+#include "support/table.hpp"
+#include "vgpu/stats_report.hpp"
+
+namespace gs::vgpu {
+
+void print_kernel_breakdown(std::ostream& os, const DeviceStats& stats) {
+  Table table({"kernel", "launches", "sim ms", "share %", "GFLOP", "GB"});
+  const double total = stats.sim_seconds();
+  for (const auto& [name, rec] : stats.per_kernel) {
+    table.new_row()
+        .add(name)
+        .add(static_cast<long>(rec.launches))
+        .add(rec.sim_seconds * 1e3)
+        .add(total > 0 ? 100.0 * rec.sim_seconds / total : 0.0)
+        .add(rec.flops * 1e-9)
+        .add(rec.bytes * 1e-9);
+  }
+  table.new_row()
+      .add("(h2d transfers)")
+      .add(static_cast<long>(stats.h2d_count))
+      .add(stats.h2d_seconds * 1e3)
+      .add(total > 0 ? 100.0 * stats.h2d_seconds / total : 0.0)
+      .add(0.0)
+      .add(static_cast<double>(stats.h2d_bytes) * 1e-9);
+  table.new_row()
+      .add("(d2h transfers)")
+      .add(static_cast<long>(stats.d2h_count))
+      .add(stats.d2h_seconds * 1e3)
+      .add(total > 0 ? 100.0 * stats.d2h_seconds / total : 0.0)
+      .add(0.0)
+      .add(static_cast<double>(stats.d2h_bytes) * 1e-9);
+  table.print(os);
+}
+
+}  // namespace gs::vgpu

@@ -1,0 +1,13 @@
+// Human-readable rendering of device statistics (used by Tab.1 breakdown).
+#pragma once
+
+#include <iosfwd>
+
+#include "vgpu/device.hpp"
+
+namespace gs::vgpu {
+
+/// Print a per-kernel time/FLOP/byte breakdown plus transfer rows.
+void print_kernel_breakdown(std::ostream& os, const DeviceStats& stats);
+
+}  // namespace gs::vgpu

@@ -1,0 +1,74 @@
+#include "vgpu/thread_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace gs::vgpu {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_ = workers;
+  if (workers_ > 1) {
+    threads_.reserve(workers_);
+    for (std::size_t i = 0; i < workers_; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t chunks,
+                            const std::function<void(std::size_t)>& body) {
+  if (chunks == 0) return;
+  if (threads_.empty() || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) body(c);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  job_ = &body;
+  job_chunks_ = chunks;
+  next_chunk_ = 0;
+  active_ = 0;
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] {
+    return next_chunk_ >= job_chunks_ && active_ == 0;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    work_ready_.wait(lock, [&] {
+      return stopping_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stopping_) return;
+    seen_generation = generation_;
+    const auto* job = job_;
+    while (next_chunk_ < job_chunks_) {
+      const std::size_t chunk = next_chunk_++;
+      ++active_;
+      lock.unlock();
+      (*job)(chunk);
+      lock.lock();
+      --active_;
+    }
+    if (active_ == 0) work_done_.notify_one();
+  }
+}
+
+}  // namespace gs::vgpu

@@ -1,0 +1,52 @@
+// Minimal persistent thread pool used to execute virtual-GPU kernel blocks.
+//
+// Functional execution of kernels is host-side; on machines with more than
+// one hardware thread the pool spreads blocks across workers. With a single
+// worker (the default on a 1-core container) execution is inline, which
+// keeps the substrate deterministic and overhead-free there.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gs::vgpu {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+
+  /// Run `body(chunk)` for chunk in [0, chunks), blocking until all complete.
+  /// With one worker this runs inline on the calling thread. `body` must not
+  /// throw; kernel bodies are noexcept by contract (like CUDA kernels).
+  void run_chunks(std::size_t chunks,
+                  const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::size_t workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t active_ = 0;
+  std::size_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace gs::vgpu

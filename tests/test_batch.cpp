@@ -1,0 +1,150 @@
+// Tests for the batched revised simplex (Ext. E): agreement with the
+// single-problem engine, lock-step behavior with uneven finish times, input
+// validation, and the modeled occupancy benefit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/generators.hpp"
+#include "simplex/batch_revised.hpp"
+#include "simplex/solver.hpp"
+
+namespace gs::simplex {
+namespace {
+
+[[nodiscard]] std::vector<lp::LpProblem> make_batch(std::size_t count,
+                                                    std::size_t size,
+                                                    std::uint64_t seed0) {
+  std::vector<lp::LpProblem> batch;
+  batch.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    batch.push_back(lp::random_dense_lp(
+        {.rows = size, .cols = size, .seed = seed0 + k}));
+  }
+  return batch;
+}
+
+class BatchSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BatchSizes, AgreesWithIndividualSolves) {
+  const auto [count, size] = GetParam();
+  const auto problems = make_batch(count, size, 100);
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> batch_solver(dev);
+  const auto batch_results = batch_solver.solve(problems);
+  ASSERT_EQ(batch_results.size(), count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto single = solve(problems[k], Engine::kDeviceRevised);
+    ASSERT_EQ(batch_results[k].status, SolveStatus::kOptimal) << k;
+    ASSERT_EQ(single.status, SolveStatus::kOptimal) << k;
+    EXPECT_NEAR(batch_results[k].objective, single.objective,
+                1e-7 * (1.0 + std::abs(single.objective)))
+        << k;
+    EXPECT_TRUE(problems[k].is_feasible(batch_results[k].x, 1e-5)) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BatchSizes,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 12},
+                                           std::pair<std::size_t, std::size_t>{4, 12},
+                                           std::pair<std::size_t, std::size_t>{16, 8},
+                                           std::pair<std::size_t, std::size_t>{3, 24}));
+
+TEST(Batch, ProblemsFinishingAtDifferentIterationsStayCorrect) {
+  // Mix trivially-optimal-at-origin problems (all costs >= 0) with normal
+  // ones: the former finish in 0 iterations, the latter keep pivoting.
+  std::vector<lp::LpProblem> problems;
+  problems.push_back(lp::random_dense_lp(
+      {.rows = 10, .cols = 10, .seed = 1, .cost_lo = -1.0, .cost_hi = -0.1}));
+  lp::DenseLpSpec trivial{.rows = 10, .cols = 10, .seed = 2};
+  trivial.cost_lo = -0.0;
+  trivial.cost_hi = -0.0;
+  // cost uniformly 0: origin is optimal with objective 0.
+  problems.push_back(lp::random_dense_lp(trivial));
+  problems.push_back(lp::random_dense_lp(
+      {.rows = 10, .cols = 10, .seed = 3, .cost_lo = -2.0, .cost_hi = -0.5}));
+
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> solver(dev);
+  const auto results = solver.solve(problems);
+  ASSERT_EQ(results[1].status, SolveStatus::kOptimal);
+  EXPECT_NEAR(results[1].objective, 0.0, 1e-12);
+  EXPECT_EQ(results[1].stats.iterations, 0u);
+  for (std::size_t k : {std::size_t{0}, std::size_t{2}}) {
+    const auto single = solve(problems[k], Engine::kDeviceRevised);
+    ASSERT_EQ(results[k].status, SolveStatus::kOptimal);
+    EXPECT_NEAR(results[k].objective, single.objective, 1e-7);
+    EXPECT_GT(results[k].stats.iterations, 0u);
+  }
+}
+
+TEST(Batch, RejectsShapeMismatch) {
+  std::vector<lp::LpProblem> problems;
+  problems.push_back(lp::random_dense_lp({.rows = 8, .cols = 8, .seed = 1}));
+  problems.push_back(lp::random_dense_lp({.rows = 9, .cols = 8, .seed = 2}));
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> solver(dev);
+  EXPECT_THROW((void)solver.solve(problems), Error);
+}
+
+TEST(Batch, RejectsProblemsNeedingPhaseOne) {
+  std::vector<lp::LpProblem> problems;
+  problems.push_back(lp::transportation(3, 3, 1));  // equality rows
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> solver(dev);
+  EXPECT_THROW((void)solver.solve(problems), Error);
+}
+
+TEST(Batch, RejectsEmptyBatch) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> solver(dev);
+  EXPECT_THROW((void)solver.solve(std::span<const lp::LpProblem>{}), Error);
+}
+
+TEST(Batch, OccupancyMakesBatchingCheaperThanSequentialSolves) {
+  // The core claim: K small LPs batched cost (much) less modeled time than
+  // K sequential solves, because each fused kernel carries K*m threads.
+  constexpr std::size_t kCount = 16;
+  const auto problems = make_batch(kCount, 16, 300);
+
+  double sequential = 0.0;
+  for (const auto& problem : problems) {
+    sequential += solve(problem, Engine::kDeviceRevised).stats.sim_seconds;
+  }
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> solver(dev);
+  const auto results = solver.solve(problems);
+  const double batched = results.front().stats.sim_seconds;
+  for (const auto& r : results) ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_LT(batched, sequential / 2.0);
+}
+
+TEST(Batch, FloatInstantiationWorks) {
+  const auto problems = make_batch(4, 10, 400);
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<float> solver(dev);
+  const auto results = solver.solve(problems);
+  for (std::size_t k = 0; k < problems.size(); ++k) {
+    const auto single = solve(problems[k], Engine::kDeviceRevised);
+    ASSERT_EQ(results[k].status, SolveStatus::kOptimal);
+    EXPECT_NEAR(results[k].objective, single.objective,
+                2e-3 * (1.0 + std::abs(single.objective)));
+  }
+}
+
+TEST(Batch, HonorsIterationLimit) {
+  const auto problems = make_batch(2, 20, 500);
+  SolverOptions opt;
+  opt.max_iterations = 1;
+  vgpu::Device dev(vgpu::gtx280_model());
+  BatchRevisedSimplex<double> solver(dev, opt);
+  const auto results = solver.solve(problems);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, SolveStatus::kIterationLimit);
+    EXPECT_LE(r.stats.iterations, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gs::simplex

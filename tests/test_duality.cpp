@@ -1,0 +1,205 @@
+// Dual-solution tests: shadow prices, strong duality, dual feasibility and
+// complementary slackness — properties that hold for every optimal solve
+// and therefore make strong cross-engine oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/generators.hpp"
+#include "lp/problem.hpp"
+#include "simplex/solver.hpp"
+
+namespace gs::simplex {
+namespace {
+
+using lp::kInf;
+using lp::LpProblem;
+using lp::Objective;
+using lp::RowSense;
+
+constexpr Engine kDualEngines[] = {Engine::kDeviceRevised,
+                                   Engine::kHostRevised, Engine::kTableau,
+                                   Engine::kSparseRevised};
+
+TEST(Duals, WyndorShadowPrices) {
+  // Textbook duals of the Wyndor Glass problem: (0, 3/2, 1).
+  LpProblem p(Objective::kMaximize, "wyndor");
+  const auto x = p.add_variable("x", 3.0);
+  const auto y = p.add_variable("y", 5.0);
+  p.add_constraint("plant1", {{x, 1.0}}, RowSense::kLe, 4.0);
+  p.add_constraint("plant2", {{y, 2.0}}, RowSense::kLe, 12.0);
+  p.add_constraint("plant3", {{x, 3.0}, {y, 2.0}}, RowSense::kLe, 18.0);
+  for (const Engine e : kDualEngines) {
+    const SolveResult r = solve(p, e);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << to_string(e);
+    ASSERT_EQ(r.y.size(), 3u) << to_string(e);
+    EXPECT_NEAR(r.y[0], 0.0, 1e-9) << to_string(e);
+    EXPECT_NEAR(r.y[1], 1.5, 1e-9) << to_string(e);
+    EXPECT_NEAR(r.y[2], 1.0, 1e-9) << to_string(e);
+  }
+}
+
+TEST(Duals, GeConstraintHasPositiveDualOnMinProblem) {
+  // min 2x s.t. x >= 3: raising the rhs raises the optimum at rate 2.
+  LpProblem p(Objective::kMinimize, "ge_dual");
+  const auto x = p.add_variable("x", 2.0);
+  p.add_constraint("floor", {{x, 1.0}}, RowSense::kGe, 3.0);
+  for (const Engine e : kDualEngines) {
+    const SolveResult r = solve(p, e);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << to_string(e);
+    EXPECT_NEAR(r.y[0], 2.0, 1e-9) << to_string(e);
+  }
+}
+
+TEST(Duals, MaximizeOrientationSign) {
+  // max 3x s.t. x <= 5: d z / d rhs = +3 in the maximize orientation.
+  LpProblem p(Objective::kMaximize, "max_dual");
+  const auto x = p.add_variable("x", 3.0);
+  p.add_constraint("cap", {{x, 1.0}}, RowSense::kLe, 5.0);
+  for (const Engine e : kDualEngines) {
+    const SolveResult r = solve(p, e);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << to_string(e);
+    EXPECT_NEAR(r.y[0], 3.0, 1e-9) << to_string(e);
+  }
+}
+
+TEST(Duals, FlippedRowSignIsCorrected) {
+  // min x with free x and -x <= 5 (x >= -5): the row is stored flipped in
+  // standard form; d z / d rhs must still come out as -1.
+  LpProblem p(Objective::kMinimize, "flipped_dual");
+  (void)p.add_variable("x", 1.0, -kInf, kInf);
+  p.add_constraint("floor", {{0, -1.0}}, RowSense::kLe, 5.0);
+  for (const Engine e : kDualEngines) {
+    const SolveResult r = solve(p, e);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << to_string(e);
+    EXPECT_NEAR(r.objective, -5.0, 1e-9) << to_string(e);
+    EXPECT_NEAR(r.y[0], -1.0, 1e-9) << to_string(e);
+  }
+}
+
+TEST(Duals, NumericallyVerifiedAgainstRhsPerturbation) {
+  // Finite-difference check: resolving with b_i + h must change the optimum
+  // by ~ y_i * h for every (nondegenerate) constraint.
+  const auto problem = lp::random_dense_lp({.rows = 8, .cols = 8, .seed = 31});
+  const SolveResult base = solve(problem, Engine::kHostRevised);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  const double h = 1e-5;
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    LpProblem perturbed(problem.objective(), "perturbed");
+    for (const auto& v : problem.variables()) {
+      perturbed.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+    }
+    for (std::size_t k = 0; k < problem.num_constraints(); ++k) {
+      const auto& con = problem.constraint(k);
+      perturbed.add_constraint(con.name, con.terms, con.sense,
+                               con.rhs + (k == i ? h : 0.0));
+    }
+    const SolveResult r = solve(perturbed, Engine::kHostRevised);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal);
+    EXPECT_NEAR((r.objective - base.objective) / h, base.y[i], 1e-4)
+        << "constraint " << i;
+  }
+}
+
+// --------------------------------------------------- property sweeps
+
+struct DualCase {
+  Engine engine;
+  std::size_t size;
+  std::uint64_t seed;
+};
+
+class DualProperties : public ::testing::TestWithParam<DualCase> {};
+
+TEST_P(DualProperties, StrongDualityAndFeasibilityAndSlackness) {
+  const auto [engine, size, seed] = GetParam();
+  // Dense family: min c^T x, A x <= b, x >= 0 with default bounds, so the
+  // LP dual is clean:  max b^T y  s.t.  A^T y <= c, y <= 0.
+  const auto problem =
+      lp::random_dense_lp({.rows = size, .cols = size, .seed = seed});
+  const SolveResult r = solve(problem, engine);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  ASSERT_EQ(r.y.size(), problem.num_constraints());
+  const double scale = 1.0 + std::abs(r.objective);
+
+  // Strong duality: b . y == c . x.
+  double by = 0.0;
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    by += problem.constraint(i).rhs * r.y[i];
+  }
+  EXPECT_NEAR(by, r.objective, 1e-6 * scale);
+
+  // Dual feasibility: y <= 0 and A^T y <= c.
+  std::vector<double> aty(problem.num_variables(), 0.0);
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    EXPECT_LE(r.y[i], 1e-7);
+    for (const lp::Term& t : problem.constraint(i).terms) {
+      aty[t.var] += t.coef * r.y[i];
+    }
+  }
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    EXPECT_LE(aty[j], problem.variable(j).objective_coef + 1e-6);
+  }
+
+  // Complementary slackness both ways.
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    double lhs = 0.0;
+    for (const lp::Term& t : problem.constraint(i).terms) {
+      lhs += t.coef * r.x[t.var];
+    }
+    EXPECT_NEAR(r.y[i] * (problem.constraint(i).rhs - lhs), 0.0,
+                1e-5 * scale)
+        << "row " << i;
+  }
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    EXPECT_NEAR(
+        r.x[j] * (problem.variable(j).objective_coef - aty[j]), 0.0,
+        1e-5 * scale)
+        << "col " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DualProperties,
+    ::testing::Values(DualCase{Engine::kDeviceRevised, 10, 1},
+                      DualCase{Engine::kDeviceRevised, 25, 2},
+                      DualCase{Engine::kDeviceRevised, 40, 3},
+                      DualCase{Engine::kHostRevised, 10, 1},
+                      DualCase{Engine::kHostRevised, 25, 2},
+                      DualCase{Engine::kHostRevised, 40, 3},
+                      DualCase{Engine::kTableau, 25, 2},
+                      DualCase{Engine::kTableau, 40, 3},
+                      DualCase{Engine::kSparseRevised, 25, 2},
+                      DualCase{Engine::kSparseRevised, 40, 3}));
+
+TEST(Duals, TransportationStrongDuality) {
+  // All-equality two-phase problem: sum_i u_i s_i + sum_j v_j d_j == cost.
+  const auto problem = lp::transportation(5, 6, 23);
+  for (const Engine e : {Engine::kDeviceRevised, Engine::kHostRevised}) {
+    const SolveResult r = solve(problem, e);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << to_string(e);
+    double by = 0.0;
+    for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+      by += problem.constraint(i).rhs * r.y[i];
+    }
+    EXPECT_NEAR(by, r.objective, 1e-6 * (1.0 + std::abs(r.objective)))
+        << to_string(e);
+  }
+}
+
+TEST(Duals, EnginesAgreeOnDualValues) {
+  const auto problem = lp::random_dense_lp({.rows = 15, .cols = 15, .seed = 5});
+  const SolveResult reference = solve(problem, Engine::kHostRevised);
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+  for (const Engine e : kDualEngines) {
+    const SolveResult r = solve(problem, e);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << to_string(e);
+    ASSERT_EQ(r.y.size(), reference.y.size());
+    for (std::size_t i = 0; i < r.y.size(); ++i) {
+      EXPECT_NEAR(r.y[i], reference.y[i], 1e-6) << to_string(e) << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::simplex

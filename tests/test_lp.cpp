@@ -1,0 +1,282 @@
+// Unit tests for the LP model, text format, scaling, and generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/generators.hpp"
+#include "lp/lp_text.hpp"
+#include "lp/problem.hpp"
+#include "lp/scaling.hpp"
+#include "lp/standard_form.hpp"
+
+namespace gs::lp {
+namespace {
+
+// ---------------------------------------------------------------- problem
+
+TEST(LpProblem, BuildsAndQueries) {
+  LpProblem p(Objective::kMinimize, "toy");
+  const auto x = p.add_variable("x", 2.0);
+  const auto y = p.add_variable("y", -1.0, -5.0, 5.0);
+  p.add_constraint("c", {{x, 1.0}, {y, 2.0}}, RowSense::kLe, 4.0);
+  EXPECT_EQ(p.num_variables(), 2u);
+  EXPECT_EQ(p.num_constraints(), 1u);
+  EXPECT_EQ(p.num_nonzeros(), 2u);
+  EXPECT_EQ(p.variable_index("y"), y);
+  EXPECT_THROW((void)p.variable_index("z"), Error);
+  EXPECT_DOUBLE_EQ(p.variable(y).lower, -5.0);
+}
+
+TEST(LpProblem, RejectsBadInput) {
+  LpProblem p;
+  EXPECT_THROW((void)p.add_variable("bad", 0.0, 2.0, 1.0), Error);  // lo > hi
+  const auto x = p.add_variable("x");
+  EXPECT_THROW(p.add_constraint("c", {{x + 1, 1.0}}, RowSense::kLe, 0.0),
+               Error);  // unknown variable
+}
+
+TEST(LpProblem, ObjectiveValue) {
+  LpProblem p;
+  p.add_variable("x", 3.0);
+  p.add_variable("y", -2.0);
+  const std::vector<double> point{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(p.objective_value(point), 4.0);
+}
+
+TEST(LpProblem, FeasibilityCheck) {
+  LpProblem p;
+  const auto x = p.add_variable("x", 0.0, 0.0, 10.0);
+  p.add_constraint("c1", {{x, 1.0}}, RowSense::kLe, 5.0);
+  p.add_constraint("c2", {{x, 1.0}}, RowSense::kGe, 1.0);
+  EXPECT_TRUE(p.is_feasible(std::vector<double>{3.0}));
+  EXPECT_FALSE(p.is_feasible(std::vector<double>{6.0}));   // violates c1
+  EXPECT_FALSE(p.is_feasible(std::vector<double>{0.5}));   // violates c2
+  EXPECT_FALSE(p.is_feasible(std::vector<double>{-1.0}));  // violates bound
+  EXPECT_FALSE(p.is_feasible(std::vector<double>{1.0, 2.0}));  // wrong dim
+}
+
+TEST(LpProblem, EqualityFeasibilityUsesTolerance) {
+  LpProblem p;
+  const auto x = p.add_variable("x");
+  p.add_constraint("c", {{x, 1.0}}, RowSense::kEq, 2.0);
+  EXPECT_TRUE(p.is_feasible(std::vector<double>{2.0 + 1e-9}));
+  EXPECT_FALSE(p.is_feasible(std::vector<double>{2.1}));
+}
+
+// ---------------------------------------------------------------- lp_text
+
+TEST(LpText, ParsesObjectiveAndConstraints) {
+  const auto p = read_lp_text(
+      "min: 3 x - 2 y;\n"
+      "c1: x + y <= 10;\n"
+      "-x + 4*y >= 2;\n");
+  EXPECT_EQ(p.objective(), Objective::kMinimize);
+  EXPECT_EQ(p.num_variables(), 2u);
+  EXPECT_EQ(p.num_constraints(), 2u);
+  EXPECT_DOUBLE_EQ(p.variable(p.variable_index("x")).objective_coef, 3.0);
+  EXPECT_DOUBLE_EQ(p.variable(p.variable_index("y")).objective_coef, -2.0);
+  const Constraint& c1 = p.constraint(0);
+  EXPECT_EQ(c1.name, "c1");
+  EXPECT_EQ(c1.sense, RowSense::kLe);
+  EXPECT_DOUBLE_EQ(c1.rhs, 10.0);
+  const Constraint& c2 = p.constraint(1);
+  EXPECT_EQ(c2.sense, RowSense::kGe);
+  EXPECT_DOUBLE_EQ(c2.terms[0].coef, -1.0);
+  EXPECT_DOUBLE_EQ(c2.terms[1].coef, 4.0);
+}
+
+TEST(LpText, ParsesBounds) {
+  const auto p = read_lp_text(
+      "max: x + y + z + w;\n"
+      "x + y + z + w <= 100;\n"
+      "bounds:\n"
+      "  x >= 1;\n"
+      "  0 <= y <= 8;\n"
+      "  z free;\n"
+      "  w <= -1;\n");
+  EXPECT_EQ(p.objective(), Objective::kMaximize);
+  const Variable& x = p.variable(p.variable_index("x"));
+  EXPECT_DOUBLE_EQ(x.lower, 1.0);
+  EXPECT_TRUE(std::isinf(x.upper));
+  const Variable& y = p.variable(p.variable_index("y"));
+  EXPECT_DOUBLE_EQ(y.upper, 8.0);
+  const Variable& z = p.variable(p.variable_index("z"));
+  EXPECT_TRUE(std::isinf(z.lower) && z.lower < 0);
+  const Variable& w = p.variable(p.variable_index("w"));
+  EXPECT_DOUBLE_EQ(w.upper, -1.0);
+  // negative sole upper bound drops the default lower bound (LP-format rule)
+  EXPECT_TRUE(std::isinf(w.lower) && w.lower < 0);
+}
+
+TEST(LpText, CommentsAndEqualityRows) {
+  const auto p = read_lp_text(
+      "# a comment line\n"
+      "min: x; # trailing comment\n"
+      "r: x = 4;\n");
+  EXPECT_EQ(p.constraint(0).sense, RowSense::kEq);
+  EXPECT_DOUBLE_EQ(p.constraint(0).rhs, 4.0);
+}
+
+TEST(LpText, CoefficientSyntaxVariants) {
+  const auto p = read_lp_text("min: 2x0;\nc: 1.5 x0 - x1 + 2e-1*x2 <= 1;\n");
+  const Constraint& c = p.constraint(0);
+  EXPECT_DOUBLE_EQ(c.terms[0].coef, 1.5);
+  EXPECT_DOUBLE_EQ(c.terms[1].coef, -1.0);
+  EXPECT_NEAR(c.terms[2].coef, 0.2, 1e-15);
+}
+
+TEST(LpText, RejectsMalformedInput) {
+  EXPECT_THROW((void)read_lp_text(""), Error);
+  EXPECT_THROW((void)read_lp_text("x + y <= 3;"), Error);  // no objective
+  EXPECT_THROW((void)read_lp_text("min: x;\nc: x 3;"), Error);  // no cmp
+  EXPECT_THROW((void)read_lp_text("min: + ;"), Error);
+}
+
+TEST(LpText, WriteReadRoundTrip) {
+  LpProblem p(Objective::kMaximize, "rt");
+  const auto x = p.add_variable("x", 3.0, 1.0, kInf);
+  const auto y = p.add_variable("y", -2.5, -kInf, kInf);
+  const auto z = p.add_variable("z", 0.0, -1.0, 4.0);
+  p.add_constraint("c1", {{x, 1.0}, {y, -2.0}}, RowSense::kLe, 7.0);
+  p.add_constraint("c2", {{y, 1.0}, {z, 1.0}}, RowSense::kEq, -2.0);
+  const auto q = read_lp_text(write_lp_text(p));
+  ASSERT_EQ(q.num_variables(), 3u);
+  ASSERT_EQ(q.num_constraints(), 2u);
+  EXPECT_EQ(q.objective(), Objective::kMaximize);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(q.variable(j).objective_coef,
+                     p.variable(j).objective_coef);
+    EXPECT_DOUBLE_EQ(q.variable(j).lower, p.variable(j).lower);
+    EXPECT_DOUBLE_EQ(q.variable(j).upper, p.variable(j).upper);
+  }
+  EXPECT_EQ(q.constraint(1).sense, RowSense::kEq);
+  EXPECT_DOUBLE_EQ(q.constraint(1).rhs, -2.0);
+}
+
+// ---------------------------------------------------------------- scaling
+
+TEST(Scaling, Pow10ShiftsCoefficientOrders) {
+  LpProblem p;
+  const auto x = p.add_variable("x", 1.0);
+  p.add_constraint("c", {{x, 1e6}}, RowSense::kLe, 2e6);
+  auto sf = to_standard_form(p);
+  const ScalingInfo info = scale_pow10(sf);
+  // Coefficients pulled toward O(1).
+  double max_abs = 0.0;
+  for (const auto& row : sf.rows) {
+    for (const Term& t : row) max_abs = std::max(max_abs, std::abs(t.coef));
+  }
+  EXPECT_LE(max_abs, 1e3);  // pulled from 1e6 to the mean order
+  EXPECT_NE(info.objective_scale, 1.0);
+}
+
+TEST(Scaling, Pow10NoopOnBalancedProblem) {
+  LpProblem p;
+  const auto x = p.add_variable("x", 1.0);
+  p.add_constraint("c", {{x, 2.0}}, RowSense::kLe, 3.0);
+  auto sf = to_standard_form(p);
+  const ScalingInfo info = scale_pow10(sf);
+  EXPECT_DOUBLE_EQ(info.objective_scale, 1.0);
+  EXPECT_DOUBLE_EQ(sf.rows[0][0].coef, 2.0);
+}
+
+TEST(Scaling, GeometricEquilibratesRows) {
+  LpProblem p;
+  const auto x = p.add_variable("x", 1.0);
+  const auto y = p.add_variable("y", 1.0);
+  p.add_constraint("big", {{x, 1e4}, {y, 1e4}}, RowSense::kLe, 1e4);
+  p.add_constraint("small", {{x, 1e-4}, {y, 1e-4}}, RowSense::kLe, 1e-4);
+  auto sf = to_standard_form(p);
+  const double spread_before =
+      std::abs(sf.rows[0][0].coef / sf.rows[1][0].coef);
+  (void)scale_geometric(sf);
+  // Equilibration must shrink the cross-row magnitude spread by orders of
+  // magnitude (it cannot reach 1.0 exactly: the unit slack columns take
+  // part in the geometric means).
+  const double spread_after =
+      std::abs(sf.rows[0][0].coef / sf.rows[1][0].coef);
+  EXPECT_LT(spread_after, spread_before / 1e3);
+}
+
+TEST(Scaling, UnscalePointInvertsColumnScaling) {
+  ScalingInfo info;
+  info.col_scale = {2.0, 0.5};
+  const auto y = info.unscale_point(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+// ------------------------------------------------------------- generators
+
+TEST(Generators, DenseLpIsFeasibleAtOrigin) {
+  const auto p = random_dense_lp({.rows = 30, .cols = 20, .seed = 5});
+  EXPECT_EQ(p.num_variables(), 20u);
+  EXPECT_EQ(p.num_constraints(), 30u);
+  const std::vector<double> origin(20, 0.0);
+  EXPECT_TRUE(p.is_feasible(origin));
+  for (const auto& con : p.constraints()) {
+    EXPECT_GT(con.rhs, 0.0);
+    for (const Term& t : con.terms) EXPECT_GT(t.coef, 0.0);
+  }
+  for (const auto& v : p.variables()) EXPECT_LE(v.objective_coef, 0.0);
+}
+
+TEST(Generators, DenseLpIsDeterministicPerSeed) {
+  const auto a = random_dense_lp({.rows = 5, .cols = 5, .seed = 42});
+  const auto b = random_dense_lp({.rows = 5, .cols = 5, .seed = 42});
+  const auto c = random_dense_lp({.rows = 5, .cols = 5, .seed = 43});
+  EXPECT_DOUBLE_EQ(a.constraint(0).terms[0].coef,
+                   b.constraint(0).terms[0].coef);
+  EXPECT_NE(a.constraint(0).terms[0].coef, c.constraint(0).terms[0].coef);
+}
+
+TEST(Generators, SparseLpHasRequestedDensity) {
+  const auto p =
+      random_sparse_lp({.rows = 50, .cols = 200, .density = 0.05, .seed = 1});
+  const double density =
+      static_cast<double>(p.num_nonzeros()) / (50.0 * 200.0);
+  EXPECT_GT(density, 0.02);
+  EXPECT_LT(density, 0.08);
+  EXPECT_TRUE(p.is_feasible(std::vector<double>(200, 0.0)));
+}
+
+TEST(Generators, SparseLpEveryRowNonVacuous) {
+  const auto p =
+      random_sparse_lp({.rows = 40, .cols = 500, .density = 0.005, .seed = 2});
+  for (const auto& con : p.constraints()) EXPECT_GE(con.terms.size(), 1u);
+}
+
+TEST(Generators, KleeMintyStructure) {
+  const auto p = klee_minty(4);
+  EXPECT_EQ(p.objective(), Objective::kMaximize);
+  EXPECT_EQ(p.num_variables(), 4u);
+  EXPECT_EQ(p.num_constraints(), 4u);
+  // First objective coefficient is 2^(d-1), rhs of row i is 5^i.
+  EXPECT_DOUBLE_EQ(p.variable(0).objective_coef, 8.0);
+  EXPECT_DOUBLE_EQ(p.constraint(3).rhs, 625.0);
+  EXPECT_THROW((void)klee_minty(0), Error);
+}
+
+TEST(Generators, TransportationIsBalanced) {
+  const auto p = transportation(5, 7, 11);
+  double supply = 0.0, demand = 0.0;
+  for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+    const auto& con = p.constraint(i);
+    EXPECT_EQ(con.sense, RowSense::kEq);
+    if (con.name.starts_with("supply")) supply += con.rhs;
+    if (con.name.starts_with("demand")) demand += con.rhs;
+  }
+  EXPECT_DOUBLE_EQ(supply, demand);
+  EXPECT_EQ(p.num_variables(), 35u);
+}
+
+TEST(Generators, BealeMatchesTextbookData) {
+  const auto p = beale_cycling();
+  EXPECT_EQ(p.num_variables(), 4u);
+  EXPECT_EQ(p.num_constraints(), 3u);
+  EXPECT_DOUBLE_EQ(p.variable(0).objective_coef, -0.75);
+  EXPECT_DOUBLE_EQ(p.constraint(0).terms[1].coef, -60.0);
+}
+
+}  // namespace
+}  // namespace gs::lp

@@ -1,0 +1,222 @@
+// Unit tests for the MPS reader/writer (netlib interchange format).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/generators.hpp"
+#include "lp/mps.hpp"
+#include "lp/problem.hpp"
+#include "simplex/solver.hpp"
+
+namespace gs::lp {
+namespace {
+
+/// The classical TESTPROB example used in every MPS format description.
+constexpr const char* kTestProb = R"(NAME          TESTPROB
+ROWS
+ N  COST
+ L  LIM1
+ G  LIM2
+ E  MYEQN
+COLUMNS
+    X1        COST         1.0   LIM1         1.0
+    X1        LIM2         1.0
+    X2        COST         2.0   LIM1         1.0
+    X2        MYEQN       -1.0
+    X3        COST        -1.0   MYEQN        1.0
+RHS
+    RHS       LIM1         4.0   LIM2         1.0
+    RHS       MYEQN        7.0
+BOUNDS
+ UP BND       X1           4.0
+ LO BND       X2          -1.0
+ENDATA
+)";
+
+TEST(MpsReader, ParsesTestProbStructure) {
+  const LpProblem p = read_mps_text(kTestProb);
+  EXPECT_EQ(p.objective(), Objective::kMinimize);
+  ASSERT_EQ(p.num_variables(), 3u);
+  ASSERT_EQ(p.num_constraints(), 3u);
+  EXPECT_DOUBLE_EQ(p.variable(p.variable_index("X1")).objective_coef, 1.0);
+  EXPECT_DOUBLE_EQ(p.variable(p.variable_index("X3")).objective_coef, -1.0);
+  EXPECT_DOUBLE_EQ(p.variable(p.variable_index("X1")).upper, 4.0);
+  EXPECT_DOUBLE_EQ(p.variable(p.variable_index("X2")).lower, -1.0);
+  const Constraint& lim1 = p.constraint(0);
+  EXPECT_EQ(lim1.name, "LIM1");
+  EXPECT_EQ(lim1.sense, RowSense::kLe);
+  EXPECT_DOUBLE_EQ(lim1.rhs, 4.0);
+  EXPECT_EQ(p.constraint(1).sense, RowSense::kGe);
+  EXPECT_EQ(p.constraint(2).sense, RowSense::kEq);
+  EXPECT_DOUBLE_EQ(p.constraint(2).rhs, 7.0);
+}
+
+TEST(MpsReader, TestProbSolvesToKnownOptimum) {
+  // min x1 + 2 x2 - x3, x1+x2<=4, x1>=1, x3-x2=7, 0<=x1<=4, x2>=-1.
+  // Optimum: x2 at its lower bound -1, x3 = 6, x1 = 1 -> z = 1 - 2 - 6 = -7.
+  const LpProblem p = read_mps_text(kTestProb);
+  const auto r = simplex::solve(p, simplex::Engine::kHostRevised);
+  ASSERT_EQ(r.status, simplex::SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -7.0, 1e-9);
+  EXPECT_TRUE(p.is_feasible(r.x));
+}
+
+TEST(MpsReader, ObjsenseMaximize) {
+  const LpProblem p = read_mps_text(
+      "NAME T\nOBJSENSE\n MAX\nROWS\n N obj\n L c\nCOLUMNS\n x obj 1.0 c "
+      "1.0\nRHS\n r c 5.0\nENDATA\n");
+  EXPECT_EQ(p.objective(), Objective::kMaximize);
+  const auto r = simplex::solve(p, simplex::Engine::kHostRevised);
+  EXPECT_NEAR(r.objective, 5.0, 1e-9);
+}
+
+TEST(MpsReader, ObjsenseOnHeaderLine) {
+  const LpProblem p = read_mps_text(
+      "NAME T\nOBJSENSE MAX\nROWS\n N obj\n L c\nCOLUMNS\n x obj 1.0 c "
+      "1.0\nRHS\n r c 5.0\nENDATA\n");
+  EXPECT_EQ(p.objective(), Objective::kMaximize);
+}
+
+TEST(MpsReader, CommentsAndBlankLinesIgnored) {
+  const LpProblem p = read_mps_text(
+      "* leading comment\nNAME T\n\nROWS\n N obj\n\n L c\nCOLUMNS\n* mid "
+      "comment\n x obj 1.0 c 2.0\nRHS\n r c 6.0\nENDATA\n");
+  ASSERT_EQ(p.num_constraints(), 1u);
+  EXPECT_DOUBLE_EQ(p.constraint(0).terms[0].coef, 2.0);
+}
+
+TEST(MpsReader, RangesOnEveryRowType) {
+  const LpProblem p = read_mps_text(
+      "NAME T\nROWS\n N obj\n L lr\n G gr\n E er\nCOLUMNS\n"
+      " x obj 1.0 lr 1.0\n x gr 1.0 er 1.0\n"
+      "RHS\n r lr 10.0 gr 2.0\n r er 5.0\n"
+      "RANGES\n rng lr 4.0 gr 3.0\n rng er -2.0\nENDATA\n");
+  // Each ranged row splits into _hi (<=) and _lo (>=).
+  ASSERT_EQ(p.num_constraints(), 6u);
+  const auto find = [&](std::string_view name) -> const Constraint& {
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+      if (p.constraint(i).name == name) return p.constraint(i);
+    }
+    throw Error("row not found");
+  };
+  EXPECT_DOUBLE_EQ(find("lr_hi").rhs, 10.0);  // L: [b-|r|, b]
+  EXPECT_DOUBLE_EQ(find("lr_lo").rhs, 6.0);
+  EXPECT_DOUBLE_EQ(find("gr_lo").rhs, 2.0);   // G: [b, b+|r|]
+  EXPECT_DOUBLE_EQ(find("gr_hi").rhs, 5.0);
+  EXPECT_DOUBLE_EQ(find("er_hi").rhs, 5.0);   // E, r<0: [b+r, b]
+  EXPECT_DOUBLE_EQ(find("er_lo").rhs, 3.0);
+}
+
+TEST(MpsReader, BoundTypes) {
+  const LpProblem p = read_mps_text(
+      "NAME T\nROWS\n N obj\n L c\nCOLUMNS\n"
+      " a obj 1.0 c 1.0\n b obj 1.0 c 1.0\n f obj 1.0 c 1.0\n"
+      " m obj 1.0 c 1.0\n u obj 1.0 c 1.0\n"
+      "RHS\n r c 100.0\nBOUNDS\n"
+      " UP BND a 7.0\n LO BND a 2.0\n"
+      " FX BND b 3.0\n"
+      " FR BND f\n"
+      " MI BND m\n"
+      " UP BND u -5.0\n"
+      "ENDATA\n");
+  const auto& a = p.variable(p.variable_index("a"));
+  EXPECT_DOUBLE_EQ(a.lower, 2.0);
+  EXPECT_DOUBLE_EQ(a.upper, 7.0);
+  const auto& b = p.variable(p.variable_index("b"));
+  EXPECT_DOUBLE_EQ(b.lower, 3.0);
+  EXPECT_DOUBLE_EQ(b.upper, 3.0);
+  const auto& f = p.variable(p.variable_index("f"));
+  EXPECT_TRUE(std::isinf(f.lower) && std::isinf(f.upper));
+  const auto& m = p.variable(p.variable_index("m"));
+  EXPECT_TRUE(std::isinf(m.lower) && m.lower < 0);
+  // negative UP without LO drops the default lower bound
+  const auto& u = p.variable(p.variable_index("u"));
+  EXPECT_DOUBLE_EQ(u.upper, -5.0);
+  EXPECT_TRUE(std::isinf(u.lower) && u.lower < 0);
+}
+
+TEST(MpsReader, RejectsMalformedInput) {
+  EXPECT_THROW((void)read_mps_text("NAME T\nROWS\n N obj\n"), Error);  // no ENDATA
+  EXPECT_THROW((void)read_mps_text("NAME T\nROWS\n L c\nENDATA\n"),
+               Error);  // no objective row
+  EXPECT_THROW(
+      (void)read_mps_text("NAME T\nROWS\n N obj\n X c\nENDATA\n"),
+      Error);  // bad row type
+  EXPECT_THROW(
+      (void)read_mps_text(
+          "NAME T\nROWS\n N obj\n L c\nCOLUMNS\n x obj 1.0 nosuch 1.0\nENDATA\n"),
+      Error);  // unknown row
+  EXPECT_THROW(
+      (void)read_mps_text("NAME T\nROWS\n N obj\n L c\nBOGUS\nENDATA\n"),
+      Error);  // unknown section
+  EXPECT_THROW(
+      (void)read_mps_text(
+          "NAME T\nROWS\n N obj\n L c\nCOLUMNS\n x obj 1.0 c 1.0\nBOUNDS\n"
+          " BV BND x\nENDATA\n"),
+      Error);  // integer bound
+}
+
+TEST(MpsReader, DuplicateRowRejected) {
+  EXPECT_THROW((void)read_mps_text(
+                   "NAME T\nROWS\n N obj\n L c\n L c\nENDATA\n"),
+               Error);
+}
+
+class MpsRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpsRoundTrip, GeneratedProblemsSurviveWriteRead) {
+  const auto original =
+      lp::random_dense_lp({.rows = 10, .cols = 8, .seed = GetParam()});
+  const LpProblem reparsed = read_mps_text(write_mps_text(original));
+  ASSERT_EQ(reparsed.num_variables(), original.num_variables());
+  ASSERT_EQ(reparsed.num_constraints(), original.num_constraints());
+  const auto r1 = simplex::solve(original, simplex::Engine::kHostRevised);
+  const auto r2 = simplex::solve(reparsed, simplex::Engine::kHostRevised);
+  ASSERT_EQ(r1.status, simplex::SolveStatus::kOptimal);
+  ASSERT_EQ(r2.status, simplex::SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective,
+              1e-9 * (1.0 + std::abs(r1.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpsRoundTrip, ::testing::Values(1, 2, 3, 4));
+
+TEST(MpsRoundTripOnce, BoundsAndMaximizeSurvive) {
+  LpProblem p(Objective::kMaximize, "rt");
+  const auto x = p.add_variable("x", 3.0, 1.0, 4.0);
+  const auto y = p.add_variable("y", -1.0, -kInf, kInf);
+  const auto z = p.add_variable("z", 2.0, -kInf, -1.0);
+  p.add_constraint("c1", {{x, 1.0}, {y, 2.0}}, RowSense::kLe, 8.0);
+  p.add_constraint("c2", {{y, 1.0}, {z, -1.0}}, RowSense::kGe, -3.0);
+  p.add_constraint("c3", {{x, 1.0}, {z, 1.0}}, RowSense::kEq, 0.0);
+  const LpProblem q = read_mps_text(write_mps_text(p));
+  EXPECT_EQ(q.objective(), Objective::kMaximize);
+  for (std::size_t j = 0; j < p.num_variables(); ++j) {
+    EXPECT_DOUBLE_EQ(q.variable(j).lower, p.variable(j).lower) << j;
+    EXPECT_DOUBLE_EQ(q.variable(j).upper, p.variable(j).upper) << j;
+    EXPECT_DOUBLE_EQ(q.variable(j).objective_coef,
+                     p.variable(j).objective_coef)
+        << j;
+  }
+  const auto r1 = simplex::solve(p, simplex::Engine::kHostRevised);
+  const auto r2 = simplex::solve(q, simplex::Engine::kHostRevised);
+  EXPECT_EQ(r1.status, r2.status);
+  if (r1.optimal()) {
+    EXPECT_NEAR(r1.objective, r2.objective, 1e-9);
+  }
+}
+
+TEST(MpsWriter, EmitsCanonicalSections) {
+  LpProblem p(Objective::kMinimize, "w");
+  const auto x = p.add_variable("x", 1.5);
+  p.add_constraint("row1", {{x, 2.0}}, RowSense::kLe, 3.0);
+  const std::string text = write_mps_text(p);
+  EXPECT_NE(text.find("ROWS"), std::string::npos);
+  EXPECT_NE(text.find("N COST"), std::string::npos);
+  EXPECT_NE(text.find("L row1"), std::string::npos);
+  EXPECT_NE(text.find("COLUMNS"), std::string::npos);
+  EXPECT_NE(text.find("ENDATA"), std::string::npos);
+  EXPECT_EQ(text.find("OBJSENSE"), std::string::npos);  // min is default
+}
+
+}  // namespace
+}  // namespace gs::lp

@@ -1,0 +1,186 @@
+// Unit tests for the presolve reductions and postsolve recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/generators.hpp"
+#include "lp/presolve.hpp"
+#include "simplex/solver.hpp"
+
+namespace gs::lp {
+namespace {
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  LpProblem p(Objective::kMinimize, "singleton");
+  const auto x = p.add_variable("x", -1.0);
+  const auto y = p.add_variable("y", -1.0);
+  p.add_constraint("sx", {{x, 2.0}}, RowSense::kLe, 8.0);  // x <= 4
+  p.add_constraint("c", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 6.0);
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kReduced);
+  EXPECT_EQ(r.rows_removed, 1u);
+  ASSERT_EQ(r.reduced.num_constraints(), 1u);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).upper, 4.0);
+}
+
+TEST(Presolve, NegativeCoefficientSingletonFlipsSense) {
+  LpProblem p(Objective::kMinimize, "neg_singleton");
+  const auto x = p.add_variable("x", 1.0, -kInf, kInf);
+  const auto y = p.add_variable("y", 1.0);
+  p.add_constraint("sx", {{x, -2.0}}, RowSense::kLe, 6.0);  // x >= -3
+  p.add_constraint("c", {{x, 1.0}, {y, 1.0}}, RowSense::kGe, 0.0);
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kReduced);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(0).lower, -3.0);
+}
+
+TEST(Presolve, EqualitySingletonCascadesToFullSolve) {
+  LpProblem p(Objective::kMinimize, "eq_singleton");
+  const auto x = p.add_variable("x", 5.0);
+  const auto y = p.add_variable("y", 1.0);
+  p.add_constraint("fix", {{x, 1.0}}, RowSense::kEq, 3.0);
+  p.add_constraint("c", {{x, 2.0}, {y, 1.0}}, RowSense::kLe, 10.0);
+  // x is fixed at 3 and substituted; the remaining row becomes the
+  // singleton y <= 4, converts to a bound, and y (now an empty column with
+  // positive cost) pins to its lower bound 0: fully solved, z = 15.
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kSolved);
+  EXPECT_EQ(r.vars_removed, 2u);
+  EXPECT_DOUBLE_EQ(r.objective_offset, 15.0);
+  const auto x_full = r.recover(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(x_full[x], 3.0);
+  EXPECT_DOUBLE_EQ(x_full[y], 0.0);
+  EXPECT_TRUE(p.is_feasible(x_full));
+}
+
+TEST(Presolve, ConflictingSingletonsAreInfeasible) {
+  LpProblem p(Objective::kMinimize, "conflict");
+  const auto x = p.add_variable("x", 1.0);
+  p.add_constraint("lo", {{x, 1.0}}, RowSense::kGe, 5.0);
+  p.add_constraint("hi", {{x, 1.0}}, RowSense::kLe, 2.0);
+  EXPECT_EQ(presolve(p).status, PresolveStatus::kInfeasible);
+}
+
+TEST(Presolve, EmptyRowFeasibilityChecked) {
+  LpProblem p(Objective::kMinimize, "empty_rows");
+  const auto x = p.add_variable("x", 1.0);
+  p.add_constraint("ok", {}, RowSense::kLe, 1.0);    // 0 <= 1: drop
+  p.add_constraint("use", {{x, 1.0}}, RowSense::kGe, 1.0);
+  const PresolveResult ok = presolve(p);
+  EXPECT_NE(ok.status, PresolveStatus::kInfeasible);
+
+  LpProblem q(Objective::kMinimize, "bad_empty");
+  (void)q.add_variable("x", 1.0);
+  q.add_constraint("bad", {}, RowSense::kGe, 1.0);  // 0 >= 1: infeasible
+  EXPECT_EQ(presolve(q).status, PresolveStatus::kInfeasible);
+}
+
+TEST(Presolve, EmptyColumnPinnedByCostSign) {
+  LpProblem p(Objective::kMinimize, "empty_col");
+  const auto used = p.add_variable("used", 1.0);
+  const auto pos = p.add_variable("free_pos_cost", 2.0, 1.0, 5.0);   // -> 1
+  const auto neg = p.add_variable("free_neg_cost", -3.0, 0.0, 4.0);  // -> 4
+  p.add_constraint("c", {{used, 1.0}}, RowSense::kGe, 2.0);
+  // The singleton row turns into `used >= 2`; `used` then becomes an empty
+  // column and pins to 2. Everything is eliminated: z = 2 + 2 - 12 = -8.
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kSolved);
+  EXPECT_EQ(r.vars_removed, 3u);
+  EXPECT_DOUBLE_EQ(r.objective_offset, -8.0);
+  const auto x = r.recover(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(x[used], 2.0);
+  EXPECT_DOUBLE_EQ(x[pos], 1.0);
+  EXPECT_DOUBLE_EQ(x[neg], 4.0);
+}
+
+TEST(Presolve, EmptyColumnWithOpenBoundIsUnbounded) {
+  LpProblem p(Objective::kMinimize, "unbounded_col");
+  (void)p.add_variable("x", -1.0);  // min -x, x unconstrained above
+  EXPECT_EQ(presolve(p).status, PresolveStatus::kUnbounded);
+}
+
+TEST(Presolve, FullyEliminatedProblemIsSolved) {
+  LpProblem p(Objective::kMaximize, "trivial");
+  (void)p.add_variable("x", 3.0, 0.0, 2.0);  // empty col, max -> upper
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kSolved);
+  EXPECT_DOUBLE_EQ(r.objective_offset, 6.0);
+  const auto x = r.recover(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST(Presolve, CascadesToFixpoint) {
+  // Fixing x via an equality singleton turns the second row into a
+  // singleton on y, which fixes y, which empties the third row.
+  LpProblem p(Objective::kMinimize, "cascade");
+  const auto x = p.add_variable("x", 1.0);
+  const auto y = p.add_variable("y", 1.0);
+  const auto z = p.add_variable("z", 1.0);
+  p.add_constraint("r1", {{x, 1.0}}, RowSense::kEq, 2.0);
+  p.add_constraint("r2", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 5.0);
+  p.add_constraint("r3", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 9.0);
+  p.add_constraint("r4", {{z, 1.0}}, RowSense::kGe, 1.0);
+  // x=2 fixes y=3 through r2; r3 empties (satisfied); r4 bounds z >= 1 and
+  // z pins there (positive cost). Fully solved: z* = 2 + 3 + 1 = 6.
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kSolved);
+  EXPECT_DOUBLE_EQ(r.objective_offset, 6.0);
+  EXPECT_GE(r.passes, 2u);
+  const auto point = r.recover(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(point[x], 2.0);
+  EXPECT_DOUBLE_EQ(point[y], 3.0);
+  EXPECT_DOUBLE_EQ(point[z], 1.0);
+  EXPECT_TRUE(p.is_feasible(point));
+}
+
+class PresolveEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PresolveEquivalence, ReducedProblemHasSameOptimum) {
+  // Dense instances plus a sprinkle of fixed variables and singleton rows.
+  auto base = random_dense_lp({.rows = 12, .cols = 10, .seed = GetParam()});
+  LpProblem p(base.objective(), "augmented");
+  for (const auto& v : base.variables()) {
+    p.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+  }
+  const auto fixed = p.add_variable("fixed", 2.0, 1.5, 1.5);
+  const auto capped = p.add_variable("capped", -1.0);
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    p.add_constraint(con.name, con.terms, con.sense, con.rhs);
+  }
+  p.add_constraint("cap", {{capped, 1.0}}, RowSense::kLe, 3.0);
+  p.add_constraint("touch_fixed", {{fixed, 1.0}, {capped, 1.0}},
+                   RowSense::kLe, 10.0);
+
+  const auto direct = simplex::solve(p, simplex::Engine::kHostRevised);
+  ASSERT_EQ(direct.status, simplex::SolveStatus::kOptimal);
+
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kReduced);
+  EXPECT_LT(r.reduced.num_variables(), p.num_variables());
+  const auto reduced_solve =
+      simplex::solve(r.reduced, simplex::Engine::kHostRevised);
+  ASSERT_EQ(reduced_solve.status, simplex::SolveStatus::kOptimal);
+  EXPECT_NEAR(r.recover_objective(reduced_solve.objective), direct.objective,
+              1e-7 * (1.0 + std::abs(direct.objective)));
+  const auto x_full = r.recover(reduced_solve.x);
+  EXPECT_TRUE(p.is_feasible(x_full, 1e-6));
+  EXPECT_NEAR(p.objective_value(x_full), direct.objective,
+              1e-7 * (1.0 + std::abs(direct.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Presolve, NoopOnAlreadyTightProblem) {
+  const auto p = random_dense_lp({.rows = 6, .cols = 6, .seed = 9});
+  const PresolveResult r = presolve(p);
+  ASSERT_EQ(r.status, PresolveStatus::kReduced);
+  EXPECT_EQ(r.rows_removed, 0u);
+  EXPECT_EQ(r.vars_removed, 0u);
+  EXPECT_EQ(r.reduced.num_variables(), p.num_variables());
+  EXPECT_EQ(r.reduced.num_constraints(), p.num_constraints());
+}
+
+}  // namespace
+}  // namespace gs::lp

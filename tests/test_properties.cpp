@@ -1,0 +1,198 @@
+// Metamorphic / property tests on the solver as a black box: invariances
+// and monotonicities that must hold for any correct LP solver, swept over
+// random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/generators.hpp"
+#include "lp/lp_text.hpp"
+#include "lp/problem.hpp"
+#include "simplex/solver.hpp"
+#include "support/rng.hpp"
+
+namespace gs::simplex {
+namespace {
+
+using lp::LpProblem;
+using lp::RowSense;
+using lp::Term;
+
+class PropertySeeds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] LpProblem instance() const {
+    return lp::random_dense_lp({.rows = 14, .cols = 12, .seed = GetParam()});
+  }
+};
+
+TEST_P(PropertySeeds, RelaxingARowWeaklyImprovesTheMinimum) {
+  const LpProblem base = instance();
+  const SolveResult r0 = solve(base, Engine::kHostRevised);
+  ASSERT_EQ(r0.status, SolveStatus::kOptimal);
+  Xoshiro256 rng(GetParam() * 7 + 1);
+  const auto row = static_cast<std::size_t>(
+      rng.uniform_int(0, std::int64_t(base.num_constraints()) - 1));
+  LpProblem relaxed(base.objective(), "relaxed");
+  for (const auto& v : base.variables()) {
+    relaxed.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+  }
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    relaxed.add_constraint(con.name, con.terms, con.sense,
+                           con.rhs + (i == row ? 1.0 : 0.0));
+  }
+  const SolveResult r1 = solve(relaxed, Engine::kHostRevised);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_LE(r1.objective, r0.objective + 1e-9);
+}
+
+TEST_P(PropertySeeds, ObjectiveScalingScalesTheOptimum) {
+  const LpProblem base = instance();
+  LpProblem scaled(base.objective(), "scaled");
+  for (const auto& v : base.variables()) {
+    scaled.add_variable(v.name, 5.0 * v.objective_coef, v.lower, v.upper);
+  }
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    scaled.add_constraint(con.name, con.terms, con.sense, con.rhs);
+  }
+  const SolveResult r0 = solve(base, Engine::kDeviceRevised);
+  const SolveResult r1 = solve(scaled, Engine::kDeviceRevised);
+  ASSERT_EQ(r0.status, SolveStatus::kOptimal);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, 5.0 * r0.objective,
+              1e-7 * (1.0 + std::abs(r0.objective)));
+}
+
+TEST_P(PropertySeeds, RowScalingLeavesTheOptimumUnchanged) {
+  const LpProblem base = instance();
+  LpProblem scaled(base.objective(), "rowscaled");
+  for (const auto& v : base.variables()) {
+    scaled.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+  }
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    const double s = (i % 2 == 0) ? 2.0 : 0.5;
+    std::vector<Term> terms = con.terms;
+    for (Term& t : terms) t.coef *= s;
+    scaled.add_constraint(con.name, std::move(terms), con.sense, con.rhs * s);
+  }
+  const SolveResult r0 = solve(base, Engine::kDeviceRevised);
+  const SolveResult r1 = solve(scaled, Engine::kDeviceRevised);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r0.objective,
+              1e-7 * (1.0 + std::abs(r0.objective)));
+}
+
+TEST_P(PropertySeeds, DuplicateRowIsRedundant) {
+  const LpProblem base = instance();
+  LpProblem dup(base.objective(), "dup");
+  for (const auto& v : base.variables()) {
+    dup.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+  }
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    dup.add_constraint(con.name, con.terms, con.sense, con.rhs);
+  }
+  const auto& first = base.constraint(0);
+  dup.add_constraint("dup_of_0", first.terms, first.sense, first.rhs);
+  const SolveResult r0 = solve(base, Engine::kDeviceRevised);
+  const SolveResult r1 = solve(dup, Engine::kDeviceRevised);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r0.objective,
+              1e-7 * (1.0 + std::abs(r0.objective)));
+}
+
+TEST_P(PropertySeeds, VariablePermutationIsIrrelevant) {
+  const LpProblem base = instance();
+  const std::size_t n = base.num_variables();
+  // Deterministic permutation derived from the seed.
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t j = 0; j < n; ++j) perm[j] = static_cast<std::uint32_t>(j);
+  Xoshiro256 rng(GetParam() * 13 + 5);
+  for (std::size_t j = n; j-- > 1;) {
+    std::swap(perm[j], perm[static_cast<std::size_t>(
+                           rng.uniform_int(0, std::int64_t(j)))]);
+  }
+  std::vector<std::uint32_t> inverse(n);
+  for (std::size_t j = 0; j < n; ++j) inverse[perm[j]] = static_cast<std::uint32_t>(j);
+
+  LpProblem permuted(base.objective(), "permuted");
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& v = base.variable(perm[j]);
+    permuted.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+  }
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    std::vector<Term> terms;
+    for (const Term& t : con.terms) terms.push_back({inverse[t.var], t.coef});
+    permuted.add_constraint(con.name, std::move(terms), con.sense, con.rhs);
+  }
+  const SolveResult r0 = solve(base, Engine::kDeviceRevised);
+  const SolveResult r1 = solve(permuted, Engine::kDeviceRevised);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r0.objective,
+              1e-7 * (1.0 + std::abs(r0.objective)));
+  // And the permuted solution maps back to the base solution.
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(r1.x[j], r0.x[perm[j]], 1e-6);
+  }
+}
+
+TEST_P(PropertySeeds, OptimalBasicSolutionHasAtMostMNonzeros) {
+  const LpProblem base = instance();
+  const SolveResult r = solve(base, Engine::kDeviceRevised);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  const std::size_t nonzeros = static_cast<std::size_t>(
+      std::count_if(r.x.begin(), r.x.end(),
+                    [](double v) { return std::abs(v) > 1e-9; }));
+  EXPECT_LE(nonzeros, base.num_constraints());
+}
+
+TEST_P(PropertySeeds, SolveIsDeterministic) {
+  const LpProblem base = instance();
+  const SolveResult a = solve(base, Engine::kDeviceRevised);
+  const SolveResult b = solve(base, Engine::kDeviceRevised);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t j = 0; j < a.x.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.x[j], b.x[j]);
+  }
+  EXPECT_DOUBLE_EQ(a.stats.sim_seconds, b.stats.sim_seconds);
+}
+
+TEST_P(PropertySeeds, LpTextRoundTripPreservesTheOptimum) {
+  const LpProblem base = instance();
+  const LpProblem reparsed = lp::read_lp_text(lp::write_lp_text(base));
+  const SolveResult r0 = solve(base, Engine::kHostRevised);
+  const SolveResult r1 = solve(reparsed, Engine::kHostRevised);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r0.objective,
+              1e-9 * (1.0 + std::abs(r0.objective)));
+}
+
+TEST_P(PropertySeeds, TighteningToZeroRhsStaysFeasibleAtOrigin) {
+  // With b = 0 the origin is the unique feasible point of the dense family
+  // (positive A, x >= 0), so the optimum is exactly 0.
+  const LpProblem base = instance();
+  LpProblem tight(base.objective(), "tight");
+  for (const auto& v : base.variables()) {
+    tight.add_variable(v.name, v.objective_coef, v.lower, v.upper);
+  }
+  for (std::size_t i = 0; i < base.num_constraints(); ++i) {
+    const auto& con = base.constraint(i);
+    tight.add_constraint(con.name, con.terms, con.sense, 0.0);
+  }
+  const SolveResult r = solve(tight, Engine::kDeviceRevised);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace gs::simplex

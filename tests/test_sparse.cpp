@@ -1,0 +1,286 @@
+// Unit tests for the sparse-matrix module: COO, CSR, conversions, device
+// CSR kernels.
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/device_csr.hpp"
+#include "support/rng.hpp"
+#include "vgpu/primitives.hpp"
+#include "vgpu/machine_model.hpp"
+
+namespace gs::sparse {
+namespace {
+
+/// The 3x3 example matrix from the simplex literature's format exposition:
+///   [0 1 5]
+///   [0 0 4]
+///   [1 0 0]
+[[nodiscard]] CsrMatrix<double> example_matrix() {
+  vblas::Matrix<double> dense(3, 3);
+  dense(0, 1) = 1.0;
+  dense(0, 2) = 5.0;
+  dense(1, 2) = 4.0;
+  dense(2, 0) = 1.0;
+  return CsrMatrix<double>::from_dense(dense);
+}
+
+[[nodiscard]] CsrMatrix<double> random_sparse(std::size_t rows,
+                                              std::size_t cols, double density,
+                                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  CooMatrix<double> coo(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.bernoulli(density)) coo.add(i, j, rng.uniform(-1.0, 1.0));
+    }
+  }
+  return to_csr(std::move(coo));
+}
+
+// ------------------------------------------------------------------- COO
+
+TEST(Coo, AddAndCanonicalizeSortsByRowThenCol) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(2, 0, 1.0);
+  coo.add(0, 2, 5.0);
+  coo.add(1, 2, 4.0);
+  coo.add(0, 1, 1.0);
+  coo.canonicalize();
+  const std::vector<std::uint32_t> rows{0, 0, 1, 2};
+  const std::vector<std::uint32_t> cols{1, 2, 2, 0};
+  const std::vector<double> vals{1.0, 5.0, 4.0, 1.0};
+  EXPECT_EQ(coo.row_indices(), rows);
+  EXPECT_EQ(coo.col_indices(), cols);
+  EXPECT_EQ(coo.values(), vals);
+}
+
+TEST(Coo, DuplicatesAreSummed) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(1, 1, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.canonicalize();
+  EXPECT_EQ(coo.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(coo.values()[0], 5.0);
+}
+
+TEST(Coo, CancellationDropsZeros) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 0, -2.0);
+  coo.add(1, 0, 1.0);
+  coo.canonicalize();
+  EXPECT_EQ(coo.nnz(), 1u);
+  EXPECT_EQ(coo.row_indices()[0], 1u);
+}
+
+TEST(Coo, OutOfRangeEntryThrows) {
+  CooMatrix<double> coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), Error);
+  EXPECT_THROW(coo.add(0, 2, 1.0), Error);
+}
+
+TEST(Coo, CanonicalizeIsIdempotent) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.canonicalize();
+  const auto vals = coo.values();
+  coo.canonicalize();
+  EXPECT_EQ(coo.values(), vals);
+}
+
+// ------------------------------------------------------------------- CSR
+
+TEST(Csr, ExampleMatrixLayout) {
+  const auto csr = example_matrix();
+  const std::vector<double> vals{1.0, 5.0, 4.0, 1.0};
+  const std::vector<std::uint32_t> cols{1, 2, 2, 0};
+  const std::vector<std::uint32_t> offs{0, 2, 3, 4};
+  EXPECT_EQ(csr.values(), vals);
+  EXPECT_EQ(csr.col_indices(), cols);
+  EXPECT_EQ(csr.row_offsets(), offs);
+  EXPECT_EQ(csr.nnz(), 4u);
+}
+
+TEST(Csr, ElementAccess) {
+  const auto csr = example_matrix();
+  EXPECT_DOUBLE_EQ(csr.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(csr.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(csr.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(csr.at(2, 0), 1.0);
+  EXPECT_THROW((void)csr.at(3, 0), Error);
+}
+
+TEST(Csr, RowNnzAndDensity) {
+  const auto csr = example_matrix();
+  EXPECT_EQ(csr.row_nnz(0), 2u);
+  EXPECT_EQ(csr.row_nnz(1), 1u);
+  EXPECT_NEAR(csr.density(), 4.0 / 9.0, 1e-12);
+}
+
+TEST(Csr, DenseRoundTrip) {
+  const auto csr = random_sparse(20, 30, 0.2, 1);
+  const auto back = CsrMatrix<double>::from_dense(csr.to_dense());
+  EXPECT_EQ(back.values(), csr.values());
+  EXPECT_EQ(back.col_indices(), csr.col_indices());
+  EXPECT_EQ(back.row_offsets(), csr.row_offsets());
+}
+
+TEST(Csr, FromDenseDropTolerance) {
+  vblas::Matrix<double> dense(1, 3);
+  dense(0, 0) = 1.0;
+  dense(0, 1) = 1e-12;
+  dense(0, 2) = -1e-12;
+  EXPECT_EQ(CsrMatrix<double>::from_dense(dense, 1e-9).nnz(), 1u);
+  EXPECT_EQ(CsrMatrix<double>::from_dense(dense).nnz(), 3u);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const auto csr = random_sparse(15, 25, 0.15, 2);
+  const auto tt = csr.transposed().transposed();
+  EXPECT_EQ(tt.values(), csr.values());
+  EXPECT_EQ(tt.col_indices(), csr.col_indices());
+  EXPECT_EQ(tt.row_offsets(), csr.row_offsets());
+}
+
+TEST(Csr, TransposeMatchesDenseTranspose) {
+  const auto csr = random_sparse(8, 12, 0.3, 3);
+  const auto t = csr.transposed();
+  const auto dense_t = csr.to_dense().transposed();
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(t.at(i, j), dense_t(i, j));
+    }
+  }
+}
+
+TEST(Csr, FilteredRemovesSmallEntries) {
+  vblas::Matrix<double> dense(2, 2);
+  dense(0, 0) = 1.0;
+  dense(0, 1) = 1e-10;
+  dense(1, 1) = -1e-10;
+  const auto csr = CsrMatrix<double>::from_dense(dense);
+  const auto filtered = csr.filtered(1e-8);
+  EXPECT_EQ(filtered.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(filtered.at(0, 0), 1.0);
+  EXPECT_EQ(filtered.rows(), 2u);
+}
+
+TEST(Csr, MalformedConstructionThrows) {
+  EXPECT_THROW(CsrMatrix<double>(2, 2, {0, 1}, {0}, {1.0}), Error);
+  EXPECT_THROW(CsrMatrix<double>(2, 2, {0, 1, 2}, {0}, {1.0, 2.0}), Error);
+}
+
+// ----------------------------------------------------------- conversions
+
+TEST(Convert, CooCsrRoundTrip) {
+  const auto csr = random_sparse(10, 10, 0.25, 4);
+  const auto back = to_csr(to_coo(csr));
+  EXPECT_EQ(back.values(), csr.values());
+  EXPECT_EQ(back.row_offsets(), csr.row_offsets());
+}
+
+TEST(Convert, UnsortedCooProducesCanonicalCsr) {
+  CooMatrix<double> coo(2, 3);
+  coo.add(1, 2, 6.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 4.0);
+  const auto csr = to_csr(std::move(coo));
+  EXPECT_DOUBLE_EQ(csr.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(csr.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(csr.at(1, 2), 6.0);
+}
+
+// ------------------------------------------------------------ device CSR
+
+class SpmvDensities : public ::testing::TestWithParam<double> {
+ protected:
+  vgpu::Device dev_{vgpu::gtx280_model()};
+};
+
+TEST_P(SpmvDensities, MatchesSerialReference) {
+  const auto a = random_sparse(64, 48, GetParam(), 5);
+  Xoshiro256 rng(6);
+  std::vector<double> x(48);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  DeviceCsr<double> da(dev_, a);
+  vgpu::DeviceBuffer<double> dx(dev_, std::span<const double>(x));
+  vgpu::DeviceBuffer<double> dy(dev_, 64);
+  spmv(1.0, da, dx, 0.0, dy);
+  const auto expect = ref::spmv(a, std::span<const double>(x));
+  const auto got = dy.to_host();
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(got[i], expect[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SpmvDensities,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0));
+
+TEST(DeviceCsr, RoundTrip) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto a = random_sparse(12, 9, 0.3, 7);
+  DeviceCsr<double> da(dev, a);
+  const auto back = da.to_host();
+  EXPECT_EQ(back.values(), a.values());
+  EXPECT_EQ(back.col_indices(), a.col_indices());
+  EXPECT_EQ(da.nnz(), a.nnz());
+}
+
+TEST(DeviceCsr, SpmvAlphaBeta) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto a = example_matrix();
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  DeviceCsr<double> da(dev, a);
+  vgpu::DeviceBuffer<double> dx(dev, std::span<const double>(x));
+  vgpu::DeviceBuffer<double> dy(dev, std::span<const double>(y));
+  spmv(2.0, da, dx, 1.0, dy);
+  // A x = (17, 12, 1); y = 2*Ax + y = (44, 44, 32)
+  const auto got = dy.to_host();
+  EXPECT_DOUBLE_EQ(got[0], 44.0);
+  EXPECT_DOUBLE_EQ(got[1], 44.0);
+  EXPECT_DOUBLE_EQ(got[2], 32.0);
+}
+
+TEST(DeviceCsr, ScatterRowToDense) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto a = example_matrix();
+  DeviceCsr<double> da(dev, a);
+  vgpu::DeviceBuffer<double> out(dev, 3);
+  vgpu::fill(out, 99.0);  // must be overwritten by the zero-fill
+  scatter_row_to_dense(da, 0, out);
+  const auto got = out.to_host();
+  EXPECT_DOUBLE_EQ(got[0], 0.0);
+  EXPECT_DOUBLE_EQ(got[1], 1.0);
+  EXPECT_DOUBLE_EQ(got[2], 5.0);
+}
+
+TEST(DeviceCsr, SpmvShapeMismatchThrows) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto a = example_matrix();
+  DeviceCsr<double> da(dev, a);
+  vgpu::DeviceBuffer<double> bad(dev, 2), y(dev, 3);
+  EXPECT_THROW(spmv(1.0, da, bad, 0.0, y), Error);
+}
+
+TEST(DeviceCsr, SpmvCostScalesWithNnz) {
+  vgpu::Device dev(vgpu::gtx280_model());
+  const auto dense_m = random_sparse(128, 128, 1.0, 8);
+  const auto sparse_m = random_sparse(128, 128, 0.02, 9);
+  std::vector<double> x(128, 1.0);
+  vgpu::DeviceBuffer<double> dx(dev, std::span<const double>(x));
+  vgpu::DeviceBuffer<double> dy(dev, 128);
+  DeviceCsr<double> dd(dev, dense_m);
+  dev.reset_stats();
+  spmv(1.0, dd, dx, 0.0, dy);
+  const double t_dense = dev.stats().per_kernel.at("spmv").sim_seconds;
+  DeviceCsr<double> ds(dev, sparse_m);
+  dev.reset_stats();
+  spmv(1.0, ds, dx, 0.0, dy);
+  const double t_sparse = dev.stats().per_kernel.at("spmv").sim_seconds;
+  EXPECT_LT(t_sparse, t_dense);
+}
+
+}  // namespace
+}  // namespace gs::sparse

@@ -1,0 +1,225 @@
+// Unit tests for the support module: RNG, strings, tables, errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace gs {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformIsInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformIntCoversInclusiveRange) {
+  Xoshiro256 rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values should appear in 2000 draws
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NormalHasUnitMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, SplitStreamsAreIndependentlyDeterministic) {
+  Xoshiro256 parent1(9), parent2(9);
+  Xoshiro256 child1 = parent1.split();
+  Xoshiro256 child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next(), child2.next());
+  // child stream differs from the parent's continuation
+  EXPECT_NE(child1.next(), parent1.next());
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("MiXeD_42"), "mixed_42"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("min: x", "min:"));
+  EXPECT_FALSE(starts_with("mi", "min:"));
+}
+
+TEST(Strings, ParseDoubleAcceptsFormats) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -2e3 "), -2000.0);
+  EXPECT_DOUBLE_EQ(parse_double("0"), 0.0);
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+  EXPECT_THROW((void)parse_double("abc"), Error);
+  EXPECT_THROW((void)parse_double(""), Error);
+  EXPECT_THROW((void)parse_double("1.5x"), Error);
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long("-7"), -7);
+  EXPECT_THROW((void)parse_long("3.5"), Error);
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.25), "0.25");
+  EXPECT_EQ(format_double(123456789.0, 3), "1.23e+08");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.new_row().add("a").add(1.5);
+  t.new_row().add("long_name").add(22L);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long_name"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a", "b"});
+  t.new_row().add("x").add("y");
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "y");
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_THROW((void)t.cell(1, 0), Error);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"k", "v"});
+  t.new_row().add("a,b").add("c");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "k,v\n");
+}
+
+TEST(Table, RowOverflowThrows) {
+  Table t({"only"});
+  t.new_row().add("x");
+  EXPECT_THROW(t.add("y"), Error);
+}
+
+TEST(Table, AddWithoutRowThrows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.new_row().add("x");
+  EXPECT_THROW(t.new_row(), Error);
+}
+
+TEST(ErrorMacros, CheckFailureCarriesLocation) {
+  try {
+    GS_CHECK_MSG(false, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_support"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(GS_CHECK(1 + 1 == 2));
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  // plain assignment: compound assignment on volatile is deprecated in C++20
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds() * 1e3 * 0.5);
+}
+
+}  // namespace
+}  // namespace gs
