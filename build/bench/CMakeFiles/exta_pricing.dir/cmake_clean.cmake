@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exta_pricing.dir/exta_pricing.cpp.o"
+  "CMakeFiles/exta_pricing.dir/exta_pricing.cpp.o.d"
+  "exta_pricing"
+  "exta_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exta_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extb_basis.dir/extb_basis.cpp.o"
+  "CMakeFiles/extb_basis.dir/extb_basis.cpp.o.d"
+  "extb_basis"
+  "extb_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extb_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

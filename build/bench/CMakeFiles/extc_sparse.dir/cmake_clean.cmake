@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extc_sparse.dir/extc_sparse.cpp.o"
+  "CMakeFiles/extc_sparse.dir/extc_sparse.cpp.o.d"
+  "extc_sparse"
+  "extc_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extc_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

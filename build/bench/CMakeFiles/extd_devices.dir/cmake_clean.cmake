@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extd_devices.dir/extd_devices.cpp.o"
+  "CMakeFiles/extd_devices.dir/extd_devices.cpp.o.d"
+  "extd_devices"
+  "extd_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extd_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extd_devices.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for extd_devices.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exte_batch.dir/exte_batch.cpp.o"
+  "CMakeFiles/exte_batch.dir/exte_batch.cpp.o.d"
+  "exte_batch"
+  "exte_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exte_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_runtime_vs_size.dir/fig1_runtime_vs_size.cpp.o"
+  "CMakeFiles/fig1_runtime_vs_size.dir/fig1_runtime_vs_size.cpp.o.d"
+  "fig1_runtime_vs_size"
+  "fig1_runtime_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_runtime_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_precision.dir/fig3_precision.cpp.o"
+  "CMakeFiles/fig3_precision.dir/fig3_precision.cpp.o.d"
+  "fig3_precision"
+  "fig3_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_breakdown.dir/tab1_breakdown.cpp.o"
+  "CMakeFiles/tab1_breakdown.dir/tab1_breakdown.cpp.o.d"
+  "tab1_breakdown"
+  "tab1_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

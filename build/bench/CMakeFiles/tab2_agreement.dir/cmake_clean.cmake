@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_agreement.dir/tab2_agreement.cpp.o"
+  "CMakeFiles/tab2_agreement.dir/tab2_agreement.cpp.o.d"
+  "tab2_agreement"
+  "tab2_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

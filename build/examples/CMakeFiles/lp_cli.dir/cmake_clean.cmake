@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_cli.dir/lp_cli.cpp.o"
+  "CMakeFiles/lp_cli.dir/lp_cli.cpp.o.d"
+  "lp_cli"
+  "lp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

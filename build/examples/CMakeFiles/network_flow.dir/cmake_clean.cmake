@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_flow.dir/network_flow.cpp.o"
+  "CMakeFiles/network_flow.dir/network_flow.cpp.o.d"
+  "network_flow"
+  "network_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

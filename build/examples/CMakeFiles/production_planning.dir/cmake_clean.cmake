@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_planning.dir/production_planning.cpp.o"
+  "CMakeFiles/production_planning.dir/production_planning.cpp.o.d"
+  "production_planning"
+  "production_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_analysis.dir/scenario_analysis.cpp.o"
+  "CMakeFiles/scenario_analysis.dir/scenario_analysis.cpp.o.d"
+  "scenario_analysis"
+  "scenario_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_scenario_analysis "/root/repo/build/examples/scenario_analysis")
+set_tests_properties(example_scenario_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_wyndor_lp "/root/repo/build/examples/lp_cli" "/root/repo/data/wyndor.lp" "--duals" "--stats")
+set_tests_properties(cli_wyndor_lp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_testprob_mps "/root/repo/build/examples/lp_cli" "/root/repo/data/testprob.mps" "--engine" "host")
+set_tests_properties(cli_testprob_mps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_refinery_presolve "/root/repo/build/examples/lp_cli" "/root/repo/data/refinery.lp" "--presolve" "--engine" "sparse")
+set_tests_properties(cli_refinery_presolve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_beale_bland "/root/repo/build/examples/lp_cli" "/root/repo/data/beale.lp" "--pricing" "bland")
+set_tests_properties(cli_beale_bland PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_beale_dantzig_cycles "/root/repo/build/examples/lp_cli" "/root/repo/data/beale.lp" "--pricing" "dantzig" "--max-iters" "300")
+set_tests_properties(cli_beale_dantzig_cycles PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_scaled_lu "/root/repo/build/examples/lp_cli" "/root/repo/data/wyndor.lp" "--scale" "geometric" "--basis" "lu")
+set_tests_properties(cli_scaled_lu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

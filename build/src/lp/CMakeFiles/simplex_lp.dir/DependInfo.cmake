@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/generators.cpp" "src/lp/CMakeFiles/simplex_lp.dir/generators.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/generators.cpp.o.d"
+  "/root/repo/src/lp/lp_text.cpp" "src/lp/CMakeFiles/simplex_lp.dir/lp_text.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/lp_text.cpp.o.d"
+  "/root/repo/src/lp/mps.cpp" "src/lp/CMakeFiles/simplex_lp.dir/mps.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/mps.cpp.o.d"
+  "/root/repo/src/lp/presolve.cpp" "src/lp/CMakeFiles/simplex_lp.dir/presolve.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/presolve.cpp.o.d"
+  "/root/repo/src/lp/problem.cpp" "src/lp/CMakeFiles/simplex_lp.dir/problem.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/problem.cpp.o.d"
+  "/root/repo/src/lp/scaling.cpp" "src/lp/CMakeFiles/simplex_lp.dir/scaling.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/scaling.cpp.o.d"
+  "/root/repo/src/lp/standard_form.cpp" "src/lp/CMakeFiles/simplex_lp.dir/standard_form.cpp.o" "gcc" "src/lp/CMakeFiles/simplex_lp.dir/standard_form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/simplex_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/simplex_vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

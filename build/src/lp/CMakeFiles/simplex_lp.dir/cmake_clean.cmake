@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_lp.dir/generators.cpp.o"
+  "CMakeFiles/simplex_lp.dir/generators.cpp.o.d"
+  "CMakeFiles/simplex_lp.dir/lp_text.cpp.o"
+  "CMakeFiles/simplex_lp.dir/lp_text.cpp.o.d"
+  "CMakeFiles/simplex_lp.dir/mps.cpp.o"
+  "CMakeFiles/simplex_lp.dir/mps.cpp.o.d"
+  "CMakeFiles/simplex_lp.dir/presolve.cpp.o"
+  "CMakeFiles/simplex_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/simplex_lp.dir/problem.cpp.o"
+  "CMakeFiles/simplex_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/simplex_lp.dir/scaling.cpp.o"
+  "CMakeFiles/simplex_lp.dir/scaling.cpp.o.d"
+  "CMakeFiles/simplex_lp.dir/standard_form.cpp.o"
+  "CMakeFiles/simplex_lp.dir/standard_form.cpp.o.d"
+  "libsimplex_lp.a"
+  "libsimplex_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

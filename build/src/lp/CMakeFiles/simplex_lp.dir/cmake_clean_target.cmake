@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimplex_lp.a"
+)

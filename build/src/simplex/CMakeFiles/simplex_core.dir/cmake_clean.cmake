@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_core.dir/host_revised.cpp.o"
+  "CMakeFiles/simplex_core.dir/host_revised.cpp.o.d"
+  "CMakeFiles/simplex_core.dir/phase_setup.cpp.o"
+  "CMakeFiles/simplex_core.dir/phase_setup.cpp.o.d"
+  "CMakeFiles/simplex_core.dir/tableau.cpp.o"
+  "CMakeFiles/simplex_core.dir/tableau.cpp.o.d"
+  "libsimplex_core.a"
+  "libsimplex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_support.dir/rng.cpp.o"
+  "CMakeFiles/simplex_support.dir/rng.cpp.o.d"
+  "CMakeFiles/simplex_support.dir/strings.cpp.o"
+  "CMakeFiles/simplex_support.dir/strings.cpp.o.d"
+  "CMakeFiles/simplex_support.dir/table.cpp.o"
+  "CMakeFiles/simplex_support.dir/table.cpp.o.d"
+  "libsimplex_support.a"
+  "libsimplex_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_vgpu.dir/device.cpp.o"
+  "CMakeFiles/simplex_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/simplex_vgpu.dir/machine_model.cpp.o"
+  "CMakeFiles/simplex_vgpu.dir/machine_model.cpp.o.d"
+  "CMakeFiles/simplex_vgpu.dir/thread_pool.cpp.o"
+  "CMakeFiles/simplex_vgpu.dir/thread_pool.cpp.o.d"
+  "libsimplex_vgpu.a"
+  "libsimplex_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

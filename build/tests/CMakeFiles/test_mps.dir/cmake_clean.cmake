@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mps.dir/test_mps.cpp.o"
+  "CMakeFiles/test_mps.dir/test_mps.cpp.o.d"
+  "test_mps"
+  "test_mps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranging.dir/test_ranging.cpp.o"
+  "CMakeFiles/test_ranging.dir/test_ranging.cpp.o.d"
+  "test_ranging"
+  "test_ranging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_standard_form.dir/test_standard_form.cpp.o"
+  "CMakeFiles/test_standard_form.dir/test_standard_form.cpp.o.d"
+  "test_standard_form"
+  "test_standard_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_standard_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vblas.dir/test_vblas.cpp.o"
+  "CMakeFiles/test_vblas.dir/test_vblas.cpp.o.d"
+  "test_vblas"
+  "test_vblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

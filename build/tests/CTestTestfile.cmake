@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vgpu "/root/repo/build/tests/test_vgpu")
+set_tests_properties(test_vgpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vblas "/root/repo/build/tests/test_vblas")
+set_tests_properties(test_vblas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sparse "/root/repo/build/tests/test_sparse")
+set_tests_properties(test_sparse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lp "/root/repo/build/tests/test_lp")
+set_tests_properties(test_lp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_standard_form "/root/repo/build/tests/test_standard_form")
+set_tests_properties(test_standard_form PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simplex "/root/repo/build/tests/test_simplex")
+set_tests_properties(test_simplex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_duality "/root/repo/build/tests/test_duality")
+set_tests_properties(test_duality PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mps "/root/repo/build/tests/test_mps")
+set_tests_properties(test_mps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_presolve "/root/repo/build/tests/test_presolve")
+set_tests_properties(test_presolve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_batch "/root/repo/build/tests/test_batch")
+set_tests_properties(test_batch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ranging "/root/repo/build/tests/test_ranging")
+set_tests_properties(test_ranging PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;gs_add_test;/root/repo/tests/CMakeLists.txt;0;")
