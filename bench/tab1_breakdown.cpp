@@ -5,12 +5,74 @@
 // kernels (pricing sweep, FTRAN, B^-1 update) carry >80% of the time;
 // per-iteration PCIe traffic is scalar-sized (latency-bound, visible but
 // small); selection kernels are overhead-dominated.
+//
+// Flags:
+//   --quick       smaller instance (m = n = 256) for smoke runs
+//   --per-iter    additionally reconstruct a per-iteration operation
+//                 breakdown from the trace layer (OBSERVABILITY.md): one
+//                 row per iteration with the modeled time of each
+//                 algorithm phase (price / ftran / ratio / update)
+//   --trace FILE  dump the solve as Chrome trace JSON to FILE
+#include <map>
+
 #include "bench/common.hpp"
+#include "trace/chrome_sink.hpp"
 #include "vgpu/stats_report.hpp"
 
+namespace {
+
+using namespace gs;
+
+/// Rebuild per-iteration rows from the event stream: walk B/E spans,
+/// attribute each "op" span's clock advance to its iteration.
+struct IterationRow {
+  std::map<std::string, double> op_seconds;
+  double begin_ts = 0.0, end_ts = 0.0;
+  [[nodiscard]] double total() const { return end_ts - begin_ts; }
+};
+
+std::vector<IterationRow> per_iteration_rows(
+    const std::vector<trace::TraceEvent>& events) {
+  std::vector<IterationRow> rows;
+  // Open-span stack of (name, begin-ts); "iteration" spans become rows.
+  std::vector<std::pair<std::string, double>> open;
+  for (const auto& e : events) {
+    if (e.phase == trace::EventPhase::kBegin) {
+      open.emplace_back(e.name, e.ts);
+      if (e.name == "iteration") {
+        rows.emplace_back();
+        rows.back().begin_ts = e.ts;
+      }
+    } else if (e.phase == trace::EventPhase::kEnd && !open.empty()) {
+      const auto [name, begin_ts] = open.back();
+      open.pop_back();
+      if (name == "iteration" && !rows.empty()) {
+        rows.back().end_ts = e.ts;
+      } else if (!rows.empty() && rows.back().end_ts == 0.0 &&
+                 (name == "price" || name == "ftran" || name == "ratio" ||
+                  name == "update" || name == "refactor")) {
+        rows.back().op_seconds[name] += e.ts - begin_ts;
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace gs;
-  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+  bool quick = false, per_iter = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--per-iter") {
+      per_iter = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
   const std::size_t size = quick ? 256 : 1536;
   const std::size_t iteration_cap = 60;
   bench::print_header(
@@ -23,6 +85,9 @@ int main(int argc, char** argv) {
       lp::random_dense_lp({.rows = size, .cols = size, .seed = 3});
   simplex::SolverOptions opt;
   opt.max_iterations = iteration_cap;
+  trace::ChromeTraceSink sink;
+  const bool tracing = per_iter || !trace_path.empty();
+  if (tracing) opt.trace_sink = &sink;
   vgpu::Device dev(vgpu::gtx280_model());
   simplex::DeviceRevisedSimplex<double> solver(dev, opt);
   const auto result = solver.solve(problem);
@@ -45,5 +110,33 @@ int main(int argc, char** argv) {
   table.new_row().add("GFLOP").add(ds.total_flops / iters * 1e-9);
   table.print(std::cout);
   bench::write_csv("tab1_breakdown", table);
+
+  if (per_iter) {
+    // The paper's table is an aggregate; this mode shows its evolution —
+    // how the operation mix changes iteration by iteration (the view
+    // Huangfu & Hall use to diagnose revised-simplex implementations).
+    const auto rows = per_iteration_rows(sink.events());
+    Table it_table({"iteration", "price [ms]", "ftran [ms]", "ratio [ms]",
+                    "update [ms]", "total [ms]"});
+    const std::size_t show = std::min<std::size_t>(rows.size(), 12);
+    for (std::size_t i = 0; i < show; ++i) {
+      auto& r = it_table.new_row();
+      r.add(static_cast<double>(i));
+      for (const char* op : {"price", "ftran", "ratio", "update"}) {
+        const auto it = rows[i].op_seconds.find(op);
+        r.add((it == rows[i].op_seconds.end() ? 0.0 : it->second) * 1e3);
+      }
+      r.add(rows[i].total() * 1e3);
+    }
+    std::cout << "per-iteration breakdown (first " << show << " of "
+              << rows.size() << " iterations):\n";
+    it_table.print(std::cout);
+    bench::write_csv("tab1_per_iteration", it_table);
+  }
+  if (!trace_path.empty()) {
+    sink.write_file(trace_path);
+    std::cout << "[trace] " << sink.events().size() << " events -> "
+              << trace_path << "\n";
+  }
   return 0;
 }

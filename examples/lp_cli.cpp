@@ -1,6 +1,7 @@
 // lp_cli: command-line LP solver over the library's full pipeline.
 //
 //   lp_cli <model.{lp,mps}> [options]
+//   lp_cli --gen dense:<size>[:seed] [options]
 //     --engine device|device-float|host|tableau|sparse   (default device)
 //     --pricing dantzig|bland|hybrid|devex               (default hybrid)
 //     --basis explicit|product-form|lu                   (default explicit)
@@ -12,19 +13,29 @@
 //     --ranging                                          rhs/cost sensitivity
 //                                                        ranges (host engine)
 //     --stats                                            kernel breakdown
+//     --gen dense:<size>[:seed]                          solve a generated
+//                                                        dense random LP
+//                                                        instead of a file
+//     --trace <file.json>                                write a Chrome
+//                                                        trace (see
+//                                                        OBSERVABILITY.md)
 //
 // Exit code: 0 optimal, 2 infeasible, 3 unbounded, 4 iteration limit,
 // 1 usage/parse error.
+#include <cmath>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "lp/generators.hpp"
 #include "lp/lp_text.hpp"
 #include "lp/mps.hpp"
 #include "lp/presolve.hpp"
 #include "lp/scaling.hpp"
 #include "lp/standard_form.hpp"
 #include "simplex/solver.hpp"
+#include "trace/chrome_sink.hpp"
 #include "vgpu/stats_report.hpp"
 
 namespace {
@@ -36,8 +47,27 @@ int usage() {
       << "usage: lp_cli <model.{lp,mps}> [--engine E] [--pricing P]\n"
          "              [--basis B] [--device D] [--max-iters N]\n"
          "              [--presolve] [--scale pow10|geometric] [--duals]\n"
-         "              [--stats]\n";
+         "              [--stats] [--trace out.json]\n"
+         "       lp_cli --gen dense:<size>[:seed] [options]\n";
   return 1;
+}
+
+/// Parse "dense:<size>[:seed]" into a generated instance.
+std::optional<lp::LpProblem> parse_gen(const std::string& spec) {
+  if (!spec.starts_with("dense:")) return std::nullopt;
+  const std::string rest = spec.substr(6);
+  const std::size_t colon = rest.find(':');
+  try {
+    lp::DenseLpSpec gen;
+    gen.rows = gen.cols = std::stoul(rest.substr(0, colon));
+    if (colon != std::string::npos) {
+      gen.seed = std::stoul(rest.substr(colon + 1));
+    }
+    if (gen.rows == 0) return std::nullopt;
+    return lp::random_dense_lp(gen);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 int status_code(simplex::SolveStatus s) {
@@ -78,16 +108,26 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (path.empty()) return usage();
+  const bool generated = flags.contains("gen");
+  if (path.empty() && !generated) return usage();
 
   try {
-    // ---- Load. ----
-    const bool is_mps = path.ends_with(".mps") || path.ends_with(".MPS");
-    lp::LpProblem problem =
-        is_mps ? lp::read_mps_file(path) : lp::read_lp_file(path);
-    std::cout << "loaded " << path << ": " << problem.num_variables()
-              << " variables, " << problem.num_constraints()
-              << " constraints, " << problem.num_nonzeros() << " nonzeros\n";
+    // ---- Load (from file, or generate a dense random instance). ----
+    lp::LpProblem problem;
+    if (generated) {
+      auto gen = parse_gen(flags["gen"]);
+      if (!gen.has_value()) return usage();
+      problem = std::move(*gen);
+      std::cout << "generated " << flags["gen"] << ": "
+                << problem.num_variables() << " variables, "
+                << problem.num_constraints() << " constraints\n";
+    } else {
+      const bool is_mps = path.ends_with(".mps") || path.ends_with(".MPS");
+      problem = is_mps ? lp::read_mps_file(path) : lp::read_lp_file(path);
+      std::cout << "loaded " << path << ": " << problem.num_variables()
+                << " variables, " << problem.num_constraints()
+                << " constraints, " << problem.num_nonzeros() << " nonzeros\n";
+    }
 
     // ---- Presolve. ----
     lp::PresolveResult pre;
@@ -115,6 +155,9 @@ int main(int argc, char** argv) {
 
     // ---- Options. ----
     simplex::SolverOptions options;
+    trace::ChromeTraceSink trace_sink;
+    const bool trace_on = flags.contains("trace");
+    if (trace_on) options.trace_sink = &trace_sink;
     if (auto it = flags.find("max-iters"); it != flags.end()) {
       options.max_iterations = static_cast<std::size_t>(std::stoul(it->second));
     }
@@ -214,6 +257,26 @@ int main(int argc, char** argv) {
     if (stats_on) {
       std::cout << "kernel breakdown:\n";
       vgpu::print_kernel_breakdown(std::cout, result.stats.device_stats);
+    }
+    if (trace_on) {
+      trace_sink.write_file(flags["trace"]);
+      // Reconcile the trace against the end-of-solve aggregates: the
+      // kernel/transfer slices must tile the simulated clock exactly
+      // (OBSERVABILITY.md documents this invariant; it is also tested).
+      const auto& ds = result.stats.device_stats;
+      const double kernel_delta =
+          std::abs(trace_sink.category_seconds("kernel") - ds.kernel_seconds);
+      const double transfer_delta = std::abs(
+          trace_sink.category_seconds("transfer") - ds.transfer_seconds());
+      std::cout << "trace: wrote " << trace_sink.events().size()
+                << " events to " << flags["trace"] << "\n"
+                << "trace reconciliation vs DeviceStats: |kernel| = "
+                << kernel_delta << " s, |transfer| = " << transfer_delta
+                << " s\n";
+      if (kernel_delta > 1e-9 || transfer_delta > 1e-9) {
+        std::cerr << "error: trace does not reconcile with DeviceStats\n";
+        return 1;
+      }
     }
     return status_code(result.status);
   } catch (const gs::Error& e) {

@@ -25,6 +25,7 @@
 #include "simplex/phase_setup.hpp"
 #include "simplex/types.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 #include "vgpu/buffer.hpp"
 #include "vgpu/device.hpp"
 
@@ -43,6 +44,11 @@ class BatchRevisedSimplex {
     GS_CHECK_MSG(!problems.empty(), "empty batch");
     WallTimer wall;
     dev_.reset_stats();
+    dev_.set_trace(opt_.trace_sink);
+    const trace::Track& tr = dev_.trace();
+    const auto clock = [this] { return dev_.sim_seconds(); };
+    if (tr.enabled()) tr.name_thread("batch-revised");
+    trace::ScopedSpan solve_span(tr, "solve", clock, "solve");
 
     // ---- Convert and validate the batch. ----
     const std::size_t batch = problems.size();
@@ -136,6 +142,10 @@ class BatchRevisedSimplex {
 
     for (std::size_t iter = 0; iter < opt_.max_iterations && n_active > 0;
          ++iter) {
+      trace::ScopedSpan iter_span(
+          tr, "iteration", clock, "iteration",
+          {{"iter", static_cast<double>(iter)},
+           {"active", static_cast<double>(n_active)}});
       // -- BTRAN: pi_k = (B_k^-1)^T cB_k, fused over K*m lanes. --
       dev_.launch_blocks(
           "batch_btran", batch * m, vgpu::Device::kBlockSize,
@@ -323,6 +333,10 @@ class BatchRevisedSimplex {
                         static_cast<Real>(augs[k].c_phase2[q_h[k]]));
       }
       if (mask_dirty) upload_active();
+      if (tr.enabled()) {
+        tr.counter("active_problems", dev_.sim_seconds(),
+                   static_cast<double>(n_active));
+      }
     }
 
     // Problems still active hit the iteration limit.

@@ -4,24 +4,47 @@
 // work here and the meter converts it to modelled seconds with the same
 // roofline the virtual GPU uses (threads = 1, no launch overhead), so
 // GPU-vs-CPU comparisons are model-vs-model on two calibrated machines.
+// See README.md "Model-vs-model timing" and DESIGN.md for the rationale.
 #pragma once
 
 #include <string>
 #include <string_view>
 
+#include "trace/trace.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/machine_model.hpp"
 
 namespace gs::simplex {
 
+/// Accumulates modelled time/flops/bytes for a host engine, producing the
+/// same vgpu::DeviceStats shape as a device solve so reporting code
+/// (vgpu::print_kernel_breakdown, the benches) is engine-agnostic.
+///
+/// The meter owns the host-side simulated clock: sim_seconds() advances by
+/// the roofline time of each charge() in call order. When a trace sink is
+/// attached (see OBSERVABILITY.md) every charge is additionally emitted as
+/// a "kernel"-category complete slice on the host track, timestamped on
+/// this clock, so host traces reconcile with stats() the same way device
+/// traces reconcile with Device::stats().
 class CostMeter {
  public:
-  explicit CostMeter(vgpu::MachineModel model) : model_(std::move(model)) {}
+  /// `sink` may be null (tracing off; the disabled path is one branch).
+  explicit CostMeter(vgpu::MachineModel model,
+                     trace::TraceSink* sink = nullptr)
+      : model_(std::move(model)),
+        trace_(sink, trace::kHostPid, trace::kEngineTid) {
+    if (trace_.enabled()) trace_.name_process("cpu: " + model_.name);
+  }
 
   /// Charge one step: `flops` floating ops and `bytes` of memory traffic.
+  /// `scalar_bytes` selects the arithmetic roofline (4 float, 8 double).
   void charge(std::string_view step, double flops, double bytes,
               std::size_t scalar_bytes = 8) {
     const double t = model_.kernel_seconds(flops, bytes, 1, scalar_bytes);
+    if (trace_.enabled()) {
+      trace_.complete(step, stats_.sim_seconds(), t, "kernel",
+                      {{"flops", flops}, {"bytes", bytes}, {"sim_seconds", t}});
+    }
     ++stats_.kernel_launches;
     stats_.kernel_seconds += t;
     stats_.total_flops += flops;
@@ -37,19 +60,27 @@ class CostMeter {
     it->second.bytes += bytes;
   }
 
+  /// Aggregates in the device-stats shape (per-step map, totals). A host
+  /// meter never moves PCIe traffic, so the transfer fields stay zero.
   [[nodiscard]] const vgpu::DeviceStats& stats() const noexcept {
     return stats_;
   }
+  /// Modelled seconds elapsed on this machine since construction.
   [[nodiscard]] double sim_seconds() const noexcept {
     return stats_.sim_seconds();
   }
+  /// The calibrated machine this meter charges against.
   [[nodiscard]] const vgpu::MachineModel& model() const noexcept {
     return model_;
   }
+  /// The host trace track (disabled when constructed without a sink);
+  /// engines reuse it for their algorithm-phase spans.
+  [[nodiscard]] const trace::Track& trace() const noexcept { return trace_; }
 
  private:
   vgpu::MachineModel model_;
   vgpu::DeviceStats stats_;
+  trace::Track trace_;
 };
 
 }  // namespace gs::simplex

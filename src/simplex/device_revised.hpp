@@ -58,6 +58,13 @@ class DeviceRevisedSimplex {
   [[nodiscard]] SolveResult solve_standard(const lp::StandardFormLp& sf) {
     WallTimer wall;
     dev_.reset_stats();
+    dev_.set_trace(opt_.trace_sink);
+    const trace::Track& tr = dev_.trace();
+    const auto clock = [this] { return dev_.sim_seconds(); };
+    if (tr.enabled()) tr.name_thread(engine_name());
+    // Top-level span; its destructor runs after every nested span's, so
+    // the trace unwinds in proper B/E order on any exit path.
+    trace::ScopedSpan solve_span(tr, "solve", clock, "solve");
     const AugmentedLp aug = augment(sf);
     Workspace ws(dev_, aug, opt_);
     if (opt_.basis == BasisScheme::kLuFactors) {
@@ -72,6 +79,7 @@ class DeviceRevisedSimplex {
 
     // ---- Phase 1: minimize the artificial sum, if any were needed. ----
     if (aug.num_artificial > 0) {
+      trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
       ws.load_costs(aug.c_phase1);
       const LoopExit exit = run_loop(ws, budget, result.stats);
       result.stats.phase1_iterations = result.stats.iterations;
@@ -94,8 +102,12 @@ class DeviceRevisedSimplex {
     }
 
     // ---- Phase 2: original costs, artificials permanently masked. ----
-    ws.load_costs(aug.c_phase2);
-    const LoopExit exit = run_loop(ws, budget, result.stats);
+    LoopExit exit;
+    {
+      trace::ScopedSpan phase_span(tr, "phase2", clock, "phase");
+      ws.load_costs(aug.c_phase2);
+      exit = run_loop(ws, budget, result.stats);
+    }
     switch (exit) {
       case LoopExit::kOptimal:
         break;
@@ -126,6 +138,12 @@ class DeviceRevisedSimplex {
 
  private:
   static constexpr Real kInf = std::numeric_limits<Real>::infinity();
+
+  /// Trace thread label (Chrome tid name) for this instantiation.
+  [[nodiscard]] static std::string engine_name() {
+    return std::string("device-revised<") +
+           (sizeof(Real) == 4 ? "float" : "double") + ">";
+  }
 
   enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
@@ -677,6 +695,8 @@ class DeviceRevisedSimplex {
   // ---------------------------------------------------------------------
 
   LoopExit run_loop(Workspace& ws, std::size_t budget, SolverStats& stats) {
+    const trace::Track& tr = dev_.trace();
+    const auto clock = [this] { return dev_.sim_seconds(); };
     double z = ws.current_objective();
     std::size_t since_improve = 0;
     bool bland_mode = false;
@@ -686,25 +706,43 @@ class DeviceRevisedSimplex {
         bland_mode = since_improve >= ws.options.degeneracy_window;
       }
 
-      btran(ws);
-      ws.at.price(ws.pi, ws.c, ws.mask, ws.d);
-      const auto entering = select_entering(ws, bland_mode);
+      trace::ScopedSpan iter_span(tr, "iteration", clock, "iteration",
+                                  {{"iter", static_cast<double>(iter)}});
+
+      std::optional<std::size_t> entering;
+      Real d_q{};
+      {
+        trace::ScopedSpan op(tr, "price", clock, "op");
+        btran(ws);
+        ws.at.price(ws.pi, ws.c, ws.mask, ws.d);
+        entering = select_entering(ws, bland_mode);
+        if (entering.has_value()) d_q = ws.d.download_value(*entering);
+      }
       if (!entering.has_value()) return LoopExit::kOptimal;
       const std::size_t q = *entering;
-      const Real d_q = ws.d.download_value(q);
 
-      ftran(ws, q);
-      ratio_test_kernel(ws);
-      const auto leave = vgpu::argmin(ws.ratio);
+      {
+        trace::ScopedSpan op(tr, "ftran", clock, "op");
+        ftran(ws, q);
+      }
+      vgpu::ArgResult<Real> leave;
+      {
+        trace::ScopedSpan op(tr, "ratio", clock, "op");
+        ratio_test_kernel(ws);
+        leave = vgpu::argmin(ws.ratio);
+      }
       if (!leave.found() || leave.value == kInf) return LoopExit::kUnbounded;
       const std::size_t p = leave.index;
       const Real theta = leave.value;
       const Real alpha_p = ws.alpha.download_value(p);
 
-      if (ws.options.pricing == PricingRule::kDevex) {
-        devex_update(ws, q, p, alpha_p);
+      {
+        trace::ScopedSpan op(tr, "update", clock, "op");
+        if (ws.options.pricing == PricingRule::kDevex) {
+          devex_update(ws, q, p, alpha_p);
+        }
+        pivot(ws, q, p, theta, alpha_p);
       }
-      pivot(ws, q, p, theta, alpha_p);
       ++stats.iterations;
 
       const double dz = static_cast<double>(theta) * static_cast<double>(d_q);
@@ -716,6 +754,7 @@ class DeviceRevisedSimplex {
         ++since_improve;
       }
       z = new_z;
+      if (tr.enabled()) tr.counter("objective", dev_.sim_seconds(), z);
 
       // Periodic refactorization to shed accumulated rounding error
       // (explicit inverse) or to bound the eta file (product form / LU).
@@ -727,6 +766,7 @@ class DeviceRevisedSimplex {
                      ? ws.options.reinversion_period
                      : ws.m);
       if (period > 0 && ws.pivots_since_refactor >= period) {
+        trace::ScopedSpan op(tr, "refactor", clock, "op");
         if (ws.options.basis == BasisScheme::kLuFactors) {
           lu_refactorize(ws);
         } else {

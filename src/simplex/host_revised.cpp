@@ -9,6 +9,7 @@
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 #include "vblas/containers.hpp"
 
 namespace gs::simplex {
@@ -261,6 +262,8 @@ void pivot(State& s, std::size_t q, std::size_t p, double theta) {
 enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
 LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
+  const trace::Track& tr = s.meter.trace();
+  const auto clock = [&s] { return s.meter.sim_seconds(); };
   double z = s.objective();
   std::size_t since_improve = 0;
   for (std::size_t iter = 0; iter < budget; ++iter) {
@@ -268,17 +271,33 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
         s.opt.pricing == PricingRule::kBland ||
         (s.opt.pricing == PricingRule::kHybrid &&
          since_improve >= s.opt.degeneracy_window);
-    btran(s);
-    price(s);
-    const auto entering = select_entering(s, bland);
+    trace::ScopedSpan iter_span(tr, "iteration", clock, "iteration",
+                                {{"iter", static_cast<double>(iter)}});
+    std::optional<std::size_t> entering;
+    {
+      trace::ScopedSpan op(tr, "price", clock, "op");
+      btran(s);
+      price(s);
+      entering = select_entering(s, bland);
+    }
     if (!entering.has_value()) return LoopExit::kOptimal;
     const std::size_t q = *entering;
     const double d_q = s.d[q];
-    ftran(s, q);
-    const auto leave = ratio_test(s);
+    {
+      trace::ScopedSpan op(tr, "ftran", clock, "op");
+      ftran(s, q);
+    }
+    std::optional<std::pair<std::size_t, double>> leave;
+    {
+      trace::ScopedSpan op(tr, "ratio", clock, "op");
+      leave = ratio_test(s);
+    }
     if (!leave.has_value()) return LoopExit::kUnbounded;
     const auto [p, theta] = *leave;
-    pivot(s, q, p, theta);
+    {
+      trace::ScopedSpan op(tr, "update", clock, "op");
+      pivot(s, q, p, theta);
+    }
     ++stats.iterations;
     const double new_z = z + theta * d_q;
     if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
@@ -287,6 +306,7 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
       ++since_improve;
     }
     z = new_z;
+    if (tr.enabled()) tr.counter("objective", s.meter.sim_seconds(), z);
   }
   return LoopExit::kIterationLimit;
 }
@@ -327,7 +347,11 @@ SolveResult HostRevisedSimplex::solve(const lp::LpProblem& problem) const {
 SolveResult HostRevisedSimplex::solve_standard(
     const lp::StandardFormLp& sf) const {
   WallTimer wall;
-  CostMeter meter(model_);
+  CostMeter meter(model_, options_.trace_sink);
+  const trace::Track& tr = meter.trace();
+  const auto clock = [&meter] { return meter.sim_seconds(); };
+  if (tr.enabled()) tr.name_thread("host-revised");
+  trace::ScopedSpan solve_span(tr, "solve", clock, "solve");
   const AugmentedLp aug = augment(sf);
   State state(aug, options_, meter);
 
@@ -342,6 +366,7 @@ SolveResult HostRevisedSimplex::solve_standard(
 
   std::size_t budget = options_.max_iterations;
   if (aug.num_artificial > 0) {
+    trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
     state.c = aug.c_phase1;
     const LoopExit exit = run_loop(state, budget, result.stats);
     result.stats.phase1_iterations = result.stats.iterations;
@@ -360,8 +385,12 @@ SolveResult HostRevisedSimplex::solve_standard(
     budget -= std::min(budget, result.stats.iterations);
   }
 
-  state.c = aug.c_phase2;
-  const LoopExit exit = run_loop(state, budget, result.stats);
+  LoopExit exit;
+  {
+    trace::ScopedSpan phase_span(tr, "phase2", clock, "phase");
+    state.c = aug.c_phase2;
+    exit = run_loop(state, budget, result.stats);
+  }
   if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
   if (exit == LoopExit::kIterationLimit) {
     return finish(SolveStatus::kIterationLimit);

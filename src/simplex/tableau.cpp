@@ -195,7 +195,7 @@ SolveResult TableauSimplex::solve(const lp::LpProblem& problem) const {
 SolveResult TableauSimplex::solve_standard(
     const lp::StandardFormLp& sf) const {
   WallTimer wall;
-  CostMeter meter(model_);
+  CostMeter meter(model_, options_.trace_sink);
   const AugmentedLp aug = augment(sf);
   Tableau tab(aug, options_, meter);
 

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "vgpu/device.hpp"
 
 namespace gs::simplex {
@@ -92,6 +93,17 @@ struct SolverOptions {
   /// Explicit inverse: recompute B^-1 from scratch every this many
   /// iterations to shed accumulated rounding error (0 = never).
   std::size_t refactor_period = 0;
+
+  /// Observability (OBSERVABILITY.md): when non-null, the engine streams
+  /// structured events into this sink — kernel launches and PCIe copies as
+  /// complete slices, algorithm phases (solve / phase1 / phase2 /
+  /// iteration / price / ftran / ratio / update) as nested spans, and the
+  /// objective as a counter — all timestamped in simulated seconds. Null
+  /// (the default) disables tracing entirely; the disabled path is a
+  /// single branch per event site, so modelled stats are identical with
+  /// and without a sink. The sink is borrowed, not owned, and must outlive
+  /// the solve.
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 /// Per-phase and aggregate counters.

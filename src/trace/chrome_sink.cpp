@@ -1,0 +1,131 @@
+#include "trace/chrome_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace gs::trace {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double (JSON has no NaN/Inf;
+/// solver timestamps are always finite by construction).
+void write_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+constexpr double kMicro = 1e6;  ///< sim-seconds -> trace microseconds
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  write_escaped(os, e.name);
+  os << ",\"ph\":\"" << to_char(e.phase) << "\"";
+  if (!e.category.empty()) {
+    os << ",\"cat\":";
+    write_escaped(os, e.category);
+  }
+  os << ",\"ts\":";
+  write_double(os, e.ts * kMicro);
+  if (e.phase == EventPhase::kComplete) {
+    os << ",\"dur\":";
+    write_double(os, e.dur * kMicro);
+  }
+  if (e.phase == EventPhase::kInstant) os << ",\"s\":\"t\"";
+  os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  if (e.phase == EventPhase::kMetadata) {
+    os << ",\"args\":{\"name\":";
+    write_escaped(os, e.label);
+    os << "}";
+  } else if (!e.args.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t k = 0; k < e.args.size(); ++k) {
+      if (k > 0) os << ",";
+      write_escaped(os, e.args[k].first);
+      os << ":";
+      write_double(os, e.args[k].second);
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  // Metadata first, then timeline events in non-decreasing ts order.
+  // Stable sort preserves emission order at equal timestamps, which keeps
+  // B-before-contained-X-before-E correct (spans open before the work they
+  // enclose and the simulated clock never runs backwards).
+  std::vector<const TraceEvent*> meta, timeline;
+  meta.reserve(8);
+  timeline.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    (e.phase == EventPhase::kMetadata ? meta : timeline).push_back(&e);
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts < b->ts;
+                   });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent* e : meta) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    write_event(os, *e);
+  }
+  for (const TraceEvent* e : timeline) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    write_event(os, *e);
+  }
+  os << "\n]}\n";
+}
+
+void ChromeTraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  GS_CHECK_MSG(out.good(), "cannot open trace file for writing: " + path);
+  write(out);
+  out.flush();
+  GS_CHECK_MSG(out.good(), "failed writing trace file: " + path);
+}
+
+double ChromeTraceSink::category_seconds(std::string_view category) const {
+  double total = 0.0;
+  for (const TraceEvent& e : events_) {
+    if (e.phase == EventPhase::kComplete && e.category == category) {
+      total += e.dur;
+    }
+  }
+  return total;
+}
+
+}  // namespace gs::trace

@@ -1,0 +1,56 @@
+// Chrome trace-event exporter: collects events, serializes chrome://tracing
+// JSON (also readable by Perfetto's https://ui.perfetto.dev).
+//
+// Layout convention (what you see when you load a file): one Chrome
+// *process* per modelled machine (the vgpu device, the host CPU model),
+// one *thread* per engine stream. Kernel launches and PCIe copies are
+// complete ("X") slices that tile the simulated clock exactly; algorithm
+// phases (iteration, price, ftran, ...) are B/E spans enclosing them; the
+// objective is a counter track. Timestamps are sim-microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gs::trace {
+
+class ChromeTraceSink : public TraceSink {
+ public:
+  void emit(TraceEvent event) override { events_.push_back(std::move(event)); }
+
+  /// All collected events, in emission order.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  void clear() { events_.clear(); }
+
+  /// Serialize the collected events as a Chrome trace JSON object.
+  /// Metadata (process/thread names) is written first; timeline events
+  /// follow in globally non-decreasing timestamp order (stable across
+  /// tracks), which chrome://tracing does not require but tooling that
+  /// streams the file does.
+  void write(std::ostream& os) const;
+
+  /// write() to a file; throws gs::Error if the file cannot be written.
+  void write_file(const std::string& path) const;
+
+  /// Sum of complete-slice durations in `category` (sim-seconds), e.g.
+  /// "kernel" or "transfer". This is the reconciliation hook against
+  /// DeviceStats: kernel slices sum to DeviceStats::kernel_seconds
+  /// bit-exactly (both sides accumulate the same doubles in the same
+  /// order); transfer slices sum to DeviceStats::transfer_seconds up to
+  /// summation reassociation (h2d/d2h interleave here but accumulate in
+  /// separate stats fields), a few ulp at most.
+  [[nodiscard]] double category_seconds(std::string_view category) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gs::trace

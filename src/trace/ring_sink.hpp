@@ -1,0 +1,65 @@
+// In-memory ring-buffer sink: bounded storage, newest events win.
+//
+// The test/assert sink. Keeps the last `capacity` events verbatim plus a
+// total count, so assertions can check both "what happened recently" and
+// "how much happened overall" without unbounded memory on long solves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gs::trace {
+
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1 << 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  }
+
+  void emit(TraceEvent event) override {
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(event));
+    } else {
+      buffer_[head_] = std::move(event);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  /// Events ever emitted (including ones the ring has since overwritten).
+  [[nodiscard]] std::size_t total_events() const noexcept { return total_; }
+
+  /// Events lost to capacity: total_events() - events().size().
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return total_ - buffer_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buffer_.size());
+    for (std::size_t k = 0; k < buffer_.size(); ++k) {
+      out.push_back(buffer_[(head_ + k) % buffer_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    buffer_.clear();
+    head_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  ///< index of the oldest event once the ring is full
+  std::size_t total_ = 0;
+};
+
+}  // namespace gs::trace

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 #include "vgpu/machine_model.hpp"
 #include "vgpu/thread_pool.hpp"
 
@@ -29,32 +30,41 @@ struct KernelCost {
   std::size_t scalar_bytes = 8;
 };
 
-/// Per-kernel aggregate, keyed by kernel name (for the Tab.1 breakdown).
+/// Per-kernel aggregate, keyed by kernel name (the rows of the Tab.1
+/// breakdown). Accumulated across every launch of that name since the last
+/// Device::reset_stats().
 struct KernelRecord {
-  std::size_t launches = 0;
-  double sim_seconds = 0.0;
-  double flops = 0.0;
-  double bytes = 0.0;
+  std::size_t launches = 0;  ///< number of launches under this name
+  double sim_seconds = 0.0;  ///< modelled time incl. per-launch overhead
+  double flops = 0.0;        ///< total declared floating-point operations
+  double bytes = 0.0;        ///< total declared DRAM traffic
 };
 
-/// Everything the device has been charged for since the last reset.
+/// Everything the device has been charged for since the last reset: the
+/// end-of-solve aggregate view of the same accounting stream that the
+/// trace layer (OBSERVABILITY.md) exposes per event. Invariants when a
+/// trace sink is attached: the "kernel" slices in the trace sum to
+/// `kernel_seconds`, the "transfer" slices to `transfer_seconds()`, and
+/// together they tile `sim_seconds()` exactly.
 struct DeviceStats {
-  std::size_t kernel_launches = 0;
-  double kernel_seconds = 0.0;  ///< includes launch overhead
+  std::size_t kernel_launches = 0;  ///< total kernel launches
+  double kernel_seconds = 0.0;      ///< modelled kernel time incl. launch overhead
 
-  std::size_t h2d_count = 0, d2h_count = 0;
-  std::size_t h2d_bytes = 0, d2h_bytes = 0;
-  double h2d_seconds = 0.0, d2h_seconds = 0.0;
+  std::size_t h2d_count = 0, d2h_count = 0;  ///< PCIe copy operations
+  std::size_t h2d_bytes = 0, d2h_bytes = 0;  ///< PCIe bytes moved
+  double h2d_seconds = 0.0, d2h_seconds = 0.0;  ///< modelled PCIe time
 
-  double total_flops = 0.0;
-  double total_bytes = 0.0;
+  double total_flops = 0.0;  ///< declared flops across all kernels
+  double total_bytes = 0.0;  ///< declared DRAM bytes across all kernels
 
+  /// Per-kernel-name aggregates (ordered; heterogeneous lookup enabled).
   std::map<std::string, KernelRecord, std::less<>> per_kernel;
 
-  /// Total simulated seconds attributed to this device.
+  /// Total simulated seconds attributed to this device (kernels + PCIe).
   [[nodiscard]] double sim_seconds() const noexcept {
     return kernel_seconds + h2d_seconds + d2h_seconds;
   }
+  /// Modelled PCIe time, both directions.
   [[nodiscard]] double transfer_seconds() const noexcept {
     return h2d_seconds + d2h_seconds;
   }
@@ -71,6 +81,22 @@ class Device {
   [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
   [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = DeviceStats{}; }
+
+  /// Attach (or with nullptr detach) a trace sink. While attached, every
+  /// kernel launch and PCIe copy is emitted as a complete slice on the
+  /// (pid, tid) track, timestamped on this device's simulated clock — the
+  /// slices tile sim_seconds() exactly, so their per-category totals equal
+  /// the DeviceStats aggregates. Detached (the default) costs one branch
+  /// per launch/copy.
+  void set_trace(trace::TraceSink* sink, std::uint32_t pid = trace::kDevicePid,
+                 std::uint32_t tid = trace::kEngineTid) {
+    trace_ = trace::Track(sink, pid, tid);
+    if (trace_.enabled()) trace_.name_process("vgpu: " + model_.name);
+  }
+
+  /// The track kernels/copies are emitted on; engines reuse it for their
+  /// own algorithm-phase spans so everything nests on one timeline.
+  [[nodiscard]] const trace::Track& trace() const noexcept { return trace_; }
 
   /// Simulated time elapsed on this device since the last reset.
   [[nodiscard]] double sim_seconds() const noexcept {
@@ -120,16 +146,26 @@ class Device {
 
   /// Charge a host-to-device copy of `bytes`.
   void account_h2d(std::size_t bytes) {
+    const double t = model_.transfer_seconds(bytes);
+    if (trace_.enabled()) {
+      trace_.complete("h2d", stats_.sim_seconds(), t, "transfer",
+                      {{"bytes", static_cast<double>(bytes)}});
+    }
     ++stats_.h2d_count;
     stats_.h2d_bytes += bytes;
-    stats_.h2d_seconds += model_.transfer_seconds(bytes);
+    stats_.h2d_seconds += t;
   }
 
   /// Charge a device-to-host copy of `bytes`.
   void account_d2h(std::size_t bytes) {
+    const double t = model_.transfer_seconds(bytes);
+    if (trace_.enabled()) {
+      trace_.complete("d2h", stats_.sim_seconds(), t, "transfer",
+                      {{"bytes", static_cast<double>(bytes)}});
+    }
     ++stats_.d2h_count;
     stats_.d2h_bytes += bytes;
-    stats_.d2h_seconds += model_.transfer_seconds(bytes);
+    stats_.d2h_seconds += t;
   }
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
@@ -141,6 +177,13 @@ class Device {
                      std::size_t threads) {
     const double t = model_.kernel_seconds(cost.flops, cost.bytes, threads,
                                            cost.scalar_bytes);
+    if (trace_.enabled()) {
+      trace_.complete(name, stats_.sim_seconds(), t, "kernel",
+                      {{"flops", cost.flops},
+                       {"bytes", cost.bytes},
+                       {"threads", static_cast<double>(threads)},
+                       {"sim_seconds", t}});
+    }
     ++stats_.kernel_launches;
     stats_.kernel_seconds += t;
     stats_.total_flops += cost.flops;
@@ -159,6 +202,7 @@ class Device {
   MachineModel model_;
   ThreadPool pool_;
   DeviceStats stats_;
+  trace::Track trace_;
 };
 
 }  // namespace gs::vgpu
