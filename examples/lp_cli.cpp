@@ -19,6 +19,10 @@
 //     --trace <file.json>                                write a Chrome
 //                                                        trace (see
 //                                                        OBSERVABILITY.md)
+//     --check                                            run kernels in
+//                                                        checked mode (see
+//                                                        CHECKING.md); any
+//                                                        finding exits 1
 //
 // Exit code: 0 optimal, 2 infeasible, 3 unbounded, 4 iteration limit,
 // 1 usage/parse error.
@@ -36,6 +40,7 @@
 #include "lp/standard_form.hpp"
 #include "simplex/solver.hpp"
 #include "trace/chrome_sink.hpp"
+#include "vgpu/check/check.hpp"
 #include "vgpu/stats_report.hpp"
 
 namespace {
@@ -47,7 +52,7 @@ int usage() {
       << "usage: lp_cli <model.{lp,mps}> [--engine E] [--pricing P]\n"
          "              [--basis B] [--device D] [--max-iters N]\n"
          "              [--presolve] [--scale pow10|geometric] [--duals]\n"
-         "              [--stats] [--trace out.json]\n"
+         "              [--stats] [--trace out.json] [--check]\n"
          "       lp_cli --gen dense:<size>[:seed] [options]\n";
   return 1;
 }
@@ -88,7 +93,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::map<std::string, std::string> flags;
   bool presolve_on = false, duals_on = false, stats_on = false;
-  bool ranging_on = false;
+  bool ranging_on = false, check_on = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--presolve") {
@@ -99,6 +104,8 @@ int main(int argc, char** argv) {
       ranging_on = true;
     } else if (arg == "--stats") {
       stats_on = true;
+    } else if (arg == "--check") {
+      check_on = true;
     } else if (arg.starts_with("--")) {
       if (i + 1 >= argc) return usage();
       flags[arg.substr(2)] = argv[++i];
@@ -158,6 +165,8 @@ int main(int argc, char** argv) {
     trace::ChromeTraceSink trace_sink;
     const bool trace_on = flags.contains("trace");
     if (trace_on) options.trace_sink = &trace_sink;
+    vgpu::check::Checker checker;
+    if (check_on) options.checker = &checker;
     if (auto it = flags.find("max-iters"); it != flags.end()) {
       options.max_iterations = static_cast<std::size_t>(std::stoul(it->second));
     }
@@ -275,6 +284,14 @@ int main(int argc, char** argv) {
                 << " s\n";
       if (kernel_delta > 1e-9 || transfer_delta > 1e-9) {
         std::cerr << "error: trace does not reconcile with DeviceStats\n";
+        return 1;
+      }
+    }
+    if (check_on) {
+      std::cout << "checked mode: " << checker.launches_checked()
+                << " launches analysed (CHECKING.md)\n";
+      if (!checker.clean()) {
+        std::cerr << "error: kernel-safety findings\n" << checker.report();
         return 1;
       }
     }

@@ -56,8 +56,10 @@ class DenseAt {
         {2.0 * double(m) * double(m),
          double((m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
         [&](std::size_t, std::size_t lo, std::size_t hi) {
+          at.read_range(q * m, q * m + m);
           const Real* aq = at.data() + q * m;
           for (std::size_t i = lo; i < hi; ++i) {
+            bs.read_range(i * m, i * m + m);
             const Real* row = bs.data() + i * m;
             Real acc{0};
             for (std::size_t k = 0; k < m; ++k) acc += row[k] * aq[k];
@@ -86,8 +88,8 @@ class DenseAt {
     auto at = at_.device_span();
     auto ys = y.device_span();
     auto os = out.device_span();
-    auto cs = c ? c->device_span() : std::span<const Real>{};
-    auto ms = mask ? mask->device_span() : std::span<const Real>{};
+    auto cs = c ? c->device_span() : vgpu::check::CheckedSpan<const Real>{};
+    auto ms = mask ? mask->device_span() : vgpu::check::CheckedSpan<const Real>{};
     device().launch_blocks(
         name, n_aug_, vgpu::Device::kBlockSize,
         {2.0 * double(n_aug_) * double(m),
@@ -98,6 +100,7 @@ class DenseAt {
               os[j] = Real{0};
               continue;
             }
+            at.read_range(j * m, (j + 1) * m);
             const Real* col = at.data() + j * m;
             Real acc{0};
             for (std::size_t i = 0; i < m; ++i) acc += col[i] * ys[i];
@@ -143,7 +146,10 @@ class SparseAt {
     auto vals = at_.values().device_span();
     auto bs = binv.device_span();
     auto as = alpha.device_span();
-    const std::size_t nnz_q = offs[q + 1] - offs[q];
+    // Column extent read host-side (a scalar lookup, like the pivot index).
+    const std::uint32_t k_lo = offs[q];
+    const std::uint32_t k_hi = offs[q + 1];
+    const std::size_t nnz_q = k_hi - k_lo;
     device().launch_blocks(
         "ftran", m, vgpu::Device::kBlockSize,
         {2.0 * double(m) * double(nnz_q),
@@ -152,11 +158,16 @@ class SparseAt {
                 m * sizeof(Real)),
          sizeof(Real)},
         [&](std::size_t, std::size_t lo, std::size_t hi) {
+          // a_q's values/indices are read once and reused across the
+          // block (cached on a real GPU); annotate them in bulk.
+          vals.read_range(k_lo, k_hi);
+          cols.read_range(k_lo, k_hi);
+          const Real* vp = vals.data();
+          const std::uint32_t* cp = cols.data();
           for (std::size_t i = lo; i < hi; ++i) {
-            const Real* row = bs.data() + i * m;
             Real acc{0};
-            for (std::uint32_t k = offs[q]; k < offs[q + 1]; ++k) {
-              acc += vals[k] * row[cols[k]];
+            for (std::uint32_t k = k_lo; k < k_hi; ++k) {
+              acc += vp[k] * bs[i * m + cp[k]];
             }
             as[i] = acc;
           }
@@ -186,8 +197,8 @@ class SparseAt {
     auto vals = at_.values().device_span();
     auto ys = y.device_span();
     auto os = out.device_span();
-    auto cs = c ? c->device_span() : std::span<const Real>{};
-    auto ms = mask ? mask->device_span() : std::span<const Real>{};
+    auto cs = c ? c->device_span() : vgpu::check::CheckedSpan<const Real>{};
+    auto ms = mask ? mask->device_span() : vgpu::check::CheckedSpan<const Real>{};
     const double nnz = static_cast<double>(at_.nnz());
     device().launch_blocks(
         name, n_aug_, vgpu::Device::kBlockSize,

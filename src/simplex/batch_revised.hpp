@@ -45,6 +45,7 @@ class BatchRevisedSimplex {
     WallTimer wall;
     dev_.reset_stats();
     dev_.set_trace(opt_.trace_sink);
+    dev_.set_checker(opt_.checker);
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
     if (tr.enabled()) tr.name_thread("batch-revised");
@@ -174,6 +175,7 @@ class BatchRevisedSimplex {
                 d_s[g] = Real{0};
                 continue;
               }
+              at_s.read_range(k * n * m + j * m, k * n * m + (j + 1) * m);
               const Real* col = at_s.data() + k * n * m + j * m;
               Real acc{0};
               for (std::size_t i = 0; i < m; ++i) acc += col[i] * pi_s[k * m + i];
@@ -209,7 +211,10 @@ class BatchRevisedSimplex {
             for (std::size_t g = lo; g < hi; ++g) {
               const std::size_t k = g / m, i = g % m;
               if (act_s[k] == Real{0} || selq_s[k] == kNone) continue;
-              const Real* aq = at_s.data() + k * n * m + selq_s[k] * m;
+              const std::size_t sq = selq_s[k];
+              at_s.read_range(k * n * m + sq * m, k * n * m + (sq + 1) * m);
+              binv_s.read_range(k * m * m + i * m, k * m * m + (i + 1) * m);
+              const Real* aq = at_s.data() + k * n * m + sq * m;
               const Real* row = binv_s.data() + k * m * m + i * m;
               Real acc{0};
               for (std::size_t t = 0; t < m; ++t) acc += row[t] * aq[t];
@@ -292,11 +297,16 @@ class BatchRevisedSimplex {
               Real* row = binv_s.data() + k * m * m + i * m;
               const Real* saved = prow_s.data() + k * m;
               if (i == p) {
+                prow_s.read_range(k * m, (k + 1) * m);
+                binv_s.write_range(k * m * m + i * m, k * m * m + (i + 1) * m);
                 const Real inv = Real{1} / ap;
                 for (std::size_t j = 0; j < m; ++j) row[j] = saved[j] * inv;
               } else {
                 const Real f = alpha_s[k * m + i] / ap;
                 if (f == Real{0}) continue;
+                prow_s.read_range(k * m, (k + 1) * m);
+                binv_s.read_range(k * m * m + i * m, k * m * m + (i + 1) * m);
+                binv_s.write_range(k * m * m + i * m, k * m * m + (i + 1) * m);
                 for (std::size_t j = 0; j < m; ++j) row[j] -= f * saved[j];
               }
             }

@@ -59,6 +59,7 @@ class DeviceRevisedSimplex {
     WallTimer wall;
     dev_.reset_stats();
     dev_.set_trace(opt_.trace_sink);
+    dev_.set_checker(opt_.checker);
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
     if (tr.enabled()) tr.name_thread(engine_name());
@@ -304,6 +305,7 @@ class DeviceRevisedSimplex {
           for (std::size_t i = 0; i < m; ++i) {
             const Real yi = ysp[i];
             if (yi == Real{0}) continue;
+            binv.read_range(i * m + lo, i * m + hi);
             const Real* row = binv.data() + i * m;
             for (std::size_t j = lo; j < hi; ++j) pisp[j] += yi * row[j];
           }
@@ -510,6 +512,7 @@ class DeviceRevisedSimplex {
           for (std::size_t i = lo; i < hi; ++i) {
             Real* row = binv.data() + i * m;
             if (i == p) {
+              binv.write_range(i * m, i * m + m);
               const Real inv = Real{1} / alpha_p;
               for (std::size_t j = 0; j < m; ++j) {
                 Real v = prow[j] * inv;
@@ -519,6 +522,8 @@ class DeviceRevisedSimplex {
             } else {
               const Real f = asp[i] / alpha_p;
               if (f == Real{0}) continue;
+              binv.read_range(i * m, i * m + m);
+              binv.write_range(i * m, i * m + m);
               for (std::size_t j = 0; j < m; ++j) {
                 Real v = row[j] - f * prow[j];
                 if (round_tol > Real{0} && std::abs(v) < round_tol) v = Real{0};
@@ -598,6 +603,7 @@ class DeviceRevisedSimplex {
         {2.0 * double(m) * double(m), bytes(m * m + 2 * m), sizeof(Real)},
         [&](std::size_t, std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo; i < hi; ++i) {
+            binv.read_range(i * m, i * m + m);
             const Real* row = binv.data() + i * m;
             Real acc{0};
             for (std::size_t k = 0; k < m; ++k) acc += row[k] * bsp[k];

@@ -104,6 +104,18 @@ struct SolverOptions {
   /// and without a sink. The sink is borrowed, not owned, and must outlive
   /// the solve.
   trace::TraceSink* trace_sink = nullptr;
+
+  /// Optional kernel-safety checker (CHECKING.md). While attached, the
+  /// device engines record per-block access footprints and analyse every
+  /// kernel launch for cross-block data races, out-of-bounds indexing,
+  /// NaN introduction, and cost-declaration drift; findings accumulate on
+  /// the checker for the caller to inspect (`lp_cli --check` prints
+  /// them). Host engines (host-revised, tableau) execute plain loops
+  /// through a CostMeter — no kernel semantics to check — and ignore it.
+  /// Null (the default) disables checking: results and kernel stats are
+  /// bit-identical with and without a checker, the same guarantee the
+  /// trace sink gives. Borrowed, not owned; must outlive the solve.
+  vgpu::check::Checker* checker = nullptr;
 };
 
 /// Per-phase and aggregate counters.

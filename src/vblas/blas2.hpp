@@ -26,6 +26,7 @@ void gemv(T alpha, const DeviceMatrix<T>& a, const DeviceBuffer<T>& x, T beta,
                  sizeof(T)},
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
+          as.read_range(r * n, (r + 1) * n);
           const T* row = as.data() + r * n;
           T acc{0};
           for (std::size_t c = 0; c < n; ++c) acc += row[c] * xs[c];
@@ -80,6 +81,8 @@ void ger(T alpha, const DeviceBuffer<T>& x, const DeviceBuffer<T>& y,
                  sizeof(T)},
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
+          as.read_range(r * n, (r + 1) * n);
+          as.write_range(r * n, (r + 1) * n);
           T* row = as.data() + r * n;
           const T scale = alpha * xs[r];
           for (std::size_t c = 0; c < n; ++c) row[c] += scale * ys[c];

@@ -33,6 +33,9 @@ void gemm(T alpha, const DeviceMatrix<T>& a, const DeviceMatrix<T>& b, T beta,
       KernelCost{fl, by, sizeof(T)},
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
+          as.read_range(r * k, (r + 1) * k);
+          cs.read_range(r * n, (r + 1) * n);
+          cs.write_range(r * n, (r + 1) * n);
           T* crow = cs.data() + r * n;
           if (beta == T{0}) {
             for (std::size_t j = 0; j < n; ++j) crow[j] = T{0};
@@ -43,6 +46,7 @@ void gemm(T alpha, const DeviceMatrix<T>& a, const DeviceMatrix<T>& b, T beta,
           for (std::size_t p = 0; p < k; ++p) {
             const T av = alpha * arow[p];
             if (av == T{0}) continue;
+            bs.read_range(p * n, (p + 1) * n);
             const T* brow = bs.data() + p * n;
             for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
           }

@@ -84,11 +84,12 @@ class DeviceMatrix {
     return buffer_;
   }
 
-  /// Device-side flat view (kernel bodies only, by convention).
-  [[nodiscard]] std::span<T> device_span() noexcept {
+  /// Device-side flat view (kernel bodies only, by convention). Checked
+  /// when the owning device has a checker attached — see CHECKING.md.
+  [[nodiscard]] vgpu::check::CheckedSpan<T> device_span() noexcept {
     return buffer_.device_span();
   }
-  [[nodiscard]] std::span<const T> device_span() const noexcept {
+  [[nodiscard]] vgpu::check::CheckedSpan<const T> device_span() const noexcept {
     return buffer_.device_span();
   }
 

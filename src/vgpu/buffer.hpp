@@ -40,30 +40,40 @@ class DeviceBuffer {
   [[nodiscard]] Device& device() const noexcept { return *device_; }
 
   /// Device-side view; by convention only dereferenced inside kernel bodies.
-  [[nodiscard]] std::span<T> device_span() noexcept { return storage_; }
-  [[nodiscard]] std::span<const T> device_span() const noexcept {
-    return storage_;
+  /// The returned CheckedSpan carries the device's checker pointer: when a
+  /// checker is attached (CHECKING.md) every element access is recorded
+  /// and bounds-checked; detached, each access is one null test around the
+  /// raw load/store.
+  [[nodiscard]] check::CheckedSpan<T> device_span() noexcept {
+    return {storage_.data(), storage_.size(), device_->checker()};
+  }
+  [[nodiscard]] check::CheckedSpan<const T> device_span() const noexcept {
+    return {storage_.data(), storage_.size(), device_->checker()};
   }
 
   /// Copy host -> device (whole buffer or prefix), charging PCIe time.
+  /// The range check is overflow-safe: `offset + host.size()` could wrap
+  /// for hostile offsets, so compare against the remaining capacity.
+  /// Zero-byte copies are no-ops — no PCIe operation is charged.
   void upload(std::span<const T> host, std::size_t offset = 0) {
-    GS_CHECK_MSG(offset + host.size() <= storage_.size(),
+    GS_CHECK_MSG(offset <= storage_.size() &&
+                     host.size() <= storage_.size() - offset,
                  "upload out of range");
-    if (!host.empty()) {
-      std::memcpy(storage_.data() + offset, host.data(),
-                  host.size() * sizeof(T));
-    }
+    if (host.empty()) return;
+    std::memcpy(storage_.data() + offset, host.data(),
+                host.size() * sizeof(T));
     device_->account_h2d(host.size() * sizeof(T));
   }
 
-  /// Copy device -> host, charging PCIe time.
+  /// Copy device -> host, charging PCIe time. Bounds and zero-byte
+  /// handling mirror upload().
   void download(std::span<T> host, std::size_t offset = 0) const {
-    GS_CHECK_MSG(offset + host.size() <= storage_.size(),
+    GS_CHECK_MSG(offset <= storage_.size() &&
+                     host.size() <= storage_.size() - offset,
                  "download out of range");
-    if (!host.empty()) {
-      std::memcpy(host.data(), storage_.data() + offset,
-                  host.size() * sizeof(T));
-    }
+    if (host.empty()) return;
+    std::memcpy(host.data(), storage_.data() + offset,
+                host.size() * sizeof(T));
     device_->account_d2h(host.size() * sizeof(T));
   }
 
@@ -98,6 +108,8 @@ class DeviceBuffer {
         "d2d_copy", size(), Device::kBlockSize,
         KernelCost{0.0, static_cast<double>(2 * size() * sizeof(T)), sizeof(T)},
         [&](std::size_t, std::size_t begin, std::size_t end) {
+          src.read_range(begin, end);
+          dst.write_range(begin, end);
           std::memcpy(dst.data() + begin, src.data() + begin,
                       (end - begin) * sizeof(T));
         });

@@ -17,6 +17,7 @@
 
 #include "support/error.hpp"
 #include "trace/trace.hpp"
+#include "vgpu/check/check.hpp"
 #include "vgpu/machine_model.hpp"
 #include "vgpu/thread_pool.hpp"
 
@@ -98,6 +99,19 @@ class Device {
   /// own algorithm-phase spans so everything nests on one timeline.
   [[nodiscard]] const trace::Track& trace() const noexcept { return trace_; }
 
+  /// Attach (or with nullptr detach) a kernel-safety checker (CHECKING.md).
+  /// While attached, spans handed out by DeviceBuffer::device_span()
+  /// record per-block access footprints and every launch is analysed for
+  /// cross-block races, out-of-bounds indexing, NaN introduction, and
+  /// cost-declaration drift. Detached (the default) checking costs one
+  /// branch per launch and one per element access — results and stats are
+  /// bit-identical either way, the same guarantee the trace sink gives.
+  void set_checker(check::Checker* checker) noexcept { check_ = checker; }
+
+  /// The attached checker, or nullptr. DeviceBuffer stamps this into the
+  /// CheckedSpans it hands out.
+  [[nodiscard]] check::Checker* checker() const noexcept { return check_; }
+
   /// Simulated time elapsed on this device since the last reset.
   [[nodiscard]] double sim_seconds() const noexcept {
     return stats_.sim_seconds();
@@ -126,11 +140,25 @@ class Device {
     GS_CHECK_MSG(block_size > 0, "block size must be positive");
     if (n > 0) {
       const std::size_t blocks = (n + block_size - 1) / block_size;
-      pool_.run_chunks(blocks, [&](std::size_t b) {
-        const std::size_t begin = b * block_size;
-        const std::size_t end = std::min(n, begin + block_size);
-        body(b, begin, end);
-      });
+      if (check_ != nullptr) {
+        // Checked path: bracket the launch so footprints recorded by
+        // CheckedSpans are attributed to this kernel, and stamp the
+        // executing block id into thread-local state for race detection.
+        check_->begin_launch(name, cost.flops, cost.bytes, n, block_size);
+        pool_.run_chunks(blocks, [&](std::size_t b) {
+          check::detail::tls_block = static_cast<std::uint32_t>(b);
+          const std::size_t begin = b * block_size;
+          const std::size_t end = std::min(n, begin + block_size);
+          body(b, begin, end);
+        });
+        check_->end_launch();
+      } else {
+        pool_.run_chunks(blocks, [&](std::size_t b) {
+          const std::size_t begin = b * block_size;
+          const std::size_t end = std::min(n, begin + block_size);
+          body(b, begin, end);
+        });
+      }
     }
     record_kernel(name, cost, n);
   }
@@ -203,6 +231,7 @@ class Device {
   ThreadPool pool_;
   DeviceStats stats_;
   trace::Track trace_;
+  check::Checker* check_ = nullptr;  ///< borrowed; see set_checker()
 };
 
 }  // namespace gs::vgpu

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -103,6 +104,47 @@ TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
   EXPECT_GE(pool.worker_count(), 1u);
 }
 
+// Stress the off-inline path: with workers > 1 every run_chunks goes
+// through the mutex/condvar dispatch, so this exercises concurrent chunk
+// claiming, the completion barrier, and pool reuse across many launches
+// back-to-back. (Run under -DGS_SANITIZE=thread this is the TSan probe
+// for the pool internals.)
+TEST(ThreadPool, StressConcurrentDispatchAndReuse) {
+  ThreadPool pool(4);
+  ASSERT_GT(pool.worker_count(), 1u);
+  std::vector<std::atomic<int>> slots(97);
+  std::atomic<int> inflight{0};
+  std::atomic<bool> overlap_ok{true};
+  for (int round = 1; round <= 200; ++round) {
+    pool.run_chunks(slots.size(), [&](std::size_t c) {
+      const int now = ++inflight;
+      if (now < 1) overlap_ok = false;
+      slots[c] += 1;
+      --inflight;
+    });
+    // Completion barrier: when run_chunks returns, every chunk of this
+    // round has executed exactly once and no worker is still in-flight.
+    EXPECT_EQ(inflight.load(), 0) << "round " << round;
+    for (const auto& s : slots) ASSERT_EQ(s.load(), round);
+  }
+  EXPECT_TRUE(overlap_ok.load());
+}
+
+// Alternating wide and narrow jobs: narrow jobs take the inline
+// single-chunk shortcut, wide ones re-enter the sleeping pool — the
+// generation counter must keep the two from cross-talking.
+TEST(ThreadPool, ReuseAcrossMixedJobShapes) {
+  ThreadPool pool(3);
+  long checksum = 0;
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t chunks = (round % 2 == 0) ? 512 : 1;
+    pool.run_chunks(chunks, [&](std::size_t c) { total += long(c) + 1; });
+    checksum += (round % 2 == 0) ? (512L * 513L) / 2 : 1L;
+    ASSERT_EQ(total.load(), checksum);
+  }
+}
+
 // ---------------------------------------------------------------- device
 
 TEST(Device, LaunchCoversExactIndexRange) {
@@ -200,6 +242,36 @@ TEST(DeviceBuffer, OutOfRangeUploadThrows) {
   DeviceBuffer<int> buf(dev, 2);
   const std::vector<int> three{1, 2, 3};
   EXPECT_THROW(buf.upload(three), Error);
+}
+
+TEST(DeviceBuffer, OffsetOverflowIsRejected) {
+  // offset + host.size() wraps around SIZE_MAX; the naive check would
+  // pass and memcpy into the weeds. The hardened check compares against
+  // remaining capacity instead.
+  Device dev(gtx280_model());
+  DeviceBuffer<int> buf(dev, 4);
+  const std::vector<int> two{1, 2};
+  std::vector<int> sink(2);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() - 1;
+  EXPECT_THROW(buf.upload(two, huge), Error);
+  EXPECT_THROW(buf.download(sink, huge), Error);
+  EXPECT_THROW(buf.upload(two, 3), Error);  // offset in range, tail is not
+  EXPECT_THROW(buf.download(sink, 3), Error);
+}
+
+TEST(DeviceBuffer, ZeroByteCopiesAreNotCharged) {
+  Device dev(gtx280_model());
+  DeviceBuffer<double> buf(dev, 4);
+  const std::size_t h2d0 = dev.stats().h2d_count;
+  const std::size_t d2h0 = dev.stats().d2h_count;
+  buf.upload(std::span<const double>{});
+  std::span<double> empty;
+  buf.download(empty);
+  buf.upload(std::span<const double>{}, 4);  // offset == size, empty: legal
+  EXPECT_EQ(dev.stats().h2d_count, h2d0);
+  EXPECT_EQ(dev.stats().d2h_count, d2h0);
+  EXPECT_EQ(dev.stats().h2d_bytes, 0u);
+  EXPECT_EQ(dev.stats().d2h_bytes, 0u);
 }
 
 TEST(DeviceBuffer, CopyFromIsDeviceSide) {
