@@ -1,0 +1,146 @@
+// Machine-readable bench driver: runs scaled-down versions of the Fig. 1 /
+// Fig. 2 sweep and the Tab. 1 per-operation breakdown and writes one JSON
+// document (schema "gs-bench-v1") that bench/compare_bench.py diffs against
+// the committed BENCH_solver.json baseline in CI.
+//
+// Everything gated by the comparison is *modeled* time (vgpu roofline
+// sim_seconds) or an exact count from seeded workloads, so reruns are
+// bit-identical on any host; wall-clock never enters the document. The
+// tolerance bands in compare_bench.py exist to absorb intentional machine-
+// model or algorithm changes, not host noise.
+//
+// Usage: bench_json [out.json]   (default: BENCH_solver.json in the CWD)
+#include <iterator>
+#include <string>
+
+#include "bench/common.hpp"
+#include "bench/per_iter.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/chrome_sink.hpp"
+
+namespace {
+
+using namespace gs;
+
+// Small fixed sweep — this runs as a CI smoke stage, so sizes stay well
+// below the full fig1 sweep. The baseline is regenerated with the same
+// sizes (EXPERIMENTS.md), so there is no --quick switch to get wrong.
+constexpr std::size_t kSweepSizes[] = {48, 64, 96, 128};
+constexpr std::size_t kBreakdownSize = 96;
+constexpr std::size_t kBreakdownCap = 40;
+
+void append_kv(std::string& out, int indent, std::string_view key,
+               double value, bool trailing_comma) {
+  out.append(indent, ' ');
+  metrics::json_write_string(out, key);
+  out += ": ";
+  metrics::json_write_number(out, value);
+  if (trailing_comma) out += ',';
+  out += '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_solver.json";
+
+  std::string out;
+  out += "{\n  \"schema\": \"gs-bench-v1\",\n";
+
+  // --- Fig.1/Fig.2-style sweep: three engines on seeded dense LPs. ------
+  // Health warnings at these fixed seeds are part of the gated contract:
+  // compare_bench.py fails if any warning count *increases* vs baseline.
+  out += "  \"sweep\": [\n";
+  for (std::size_t s = 0; s < std::size(kSweepSizes); ++s) {
+    const std::size_t size = kSweepSizes[s];
+    const auto problem =
+        lp::random_dense_lp({.rows = size, .cols = size, .seed = 1});
+
+    metrics::MetricsRegistry registry;
+    simplex::SolverOptions opt;
+    opt.metrics = &registry;
+    const auto gpu = bench::solve_device(problem, vgpu::gtx280_model(), opt);
+    const auto cpu = simplex::solve(problem, simplex::Engine::kHostRevised);
+    const auto tab = simplex::solve(problem, simplex::Engine::kTableau);
+    if (!gpu.optimal() || !cpu.optimal() || !tab.optimal()) {
+      std::cerr << "non-optimal solve at m=" << size << "\n";
+      return 1;
+    }
+    const auto& ds = gpu.stats.device_stats;
+
+    out += "    {\n";
+    append_kv(out, 6, "m", double(size), true);
+    append_kv(out, 6, "gpu_iterations", double(gpu.stats.iterations), true);
+    append_kv(out, 6, "gpu_revised_ms", gpu.stats.sim_seconds * 1e3, true);
+    append_kv(out, 6, "cpu_revised_ms", cpu.stats.sim_seconds * 1e3, true);
+    append_kv(out, 6, "cpu_tableau_ms", tab.stats.sim_seconds * 1e3, true);
+    append_kv(out, 6, "speedup_vs_cpu_revised",
+              cpu.stats.sim_seconds / gpu.stats.sim_seconds, true);
+    append_kv(out, 6, "kernel_launches", double(ds.kernel_launches), true);
+    append_kv(out, 6, "h2d_bytes", double(ds.h2d_bytes), true);
+    append_kv(out, 6, "d2h_bytes", double(ds.d2h_bytes), true);
+    append_kv(out, 6, "warnings_total", double(registry.warnings_total()),
+              true);
+    // Per-kind warning counters (health.warnings.<kind>), if any tripped.
+    out += "      \"warnings_by_kind\": {";
+    const auto snap = registry.snapshot();
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      constexpr std::string_view prefix = "health.warnings.";
+      if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      metrics::json_write_string(out, name.substr(prefix.size()));
+      out += ": ";
+      metrics::json_write_number(out, value);
+    }
+    out += "}\n";
+    out += (s + 1 < std::size(kSweepSizes)) ? "    },\n" : "    }\n";
+  }
+  out += "  ],\n";
+
+  // --- Tab.1-style per-operation breakdown at a fixed iteration cap. ----
+  {
+    const auto problem = lp::random_dense_lp(
+        {.rows = kBreakdownSize, .cols = kBreakdownSize, .seed = 3});
+    simplex::SolverOptions opt;
+    opt.max_iterations = kBreakdownCap;
+    trace::ChromeTraceSink sink;
+    opt.trace_sink = &sink;
+    const auto result =
+        bench::solve_device(problem, vgpu::gtx280_model(), opt);
+    const auto rows = bench::per_iteration_rows(sink.events());
+    const auto totals = bench::op_totals(rows);
+    double grand = 0.0;
+    for (const double t : totals) grand += t;
+
+    out += "  \"breakdown\": {\n";
+    append_kv(out, 4, "m", double(kBreakdownSize), true);
+    append_kv(out, 4, "iteration_cap", double(kBreakdownCap), true);
+    append_kv(out, 4, "iterations", double(result.stats.iterations), true);
+    out += "    \"op_ms\": {\n";
+    for (std::size_t k = 0; k < bench::kOpColumns.size(); ++k) {
+      append_kv(out, 6, bench::kOpColumns[k], totals[k] * 1e3,
+                k + 1 < bench::kOpColumns.size());
+    }
+    out += "    },\n";
+    out += "    \"op_share\": {\n";
+    for (std::size_t k = 0; k < bench::kOpColumns.size(); ++k) {
+      append_kv(out, 6, bench::kOpColumns[k],
+                grand > 0.0 ? totals[k] / grand : 0.0,
+                k + 1 < bench::kOpColumns.size());
+    }
+    out += "    }\n  }\n";
+  }
+
+  out += "}\n";
+
+  std::ofstream file(out_path);
+  if (!file.good()) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  file << out;
+  std::cout << "[bench-json] wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Regression gate for the gs-bench-v1 artifact (BENCH_solver.json).
+
+Usage: compare_bench.py BASELINE CANDIDATE [--tolerance FRAC]
+
+Walks both JSON documents in lockstep and fails (exit 1) when:
+  * the structure diverges (missing/extra keys, list-length mismatch,
+    schema string change);
+  * a runtime field -- any numeric key ending in ``_ms`` or ``_seconds`` --
+    regresses by more than the tolerance (default 25%, relative).
+    Improvements (candidate faster) always pass;
+  * any health-warning count (``warnings_total`` or an entry under
+    ``warnings_by_kind``) increases. Warnings disappearing is fine;
+    new numerical-health noise at fixed seeds is not.
+
+All other numeric fields (iteration counts, byte/launch tallies, shares)
+are informational: drift is reported but does not fail the gate, so
+machine-model retuning doesn't require a baseline refresh unless it
+actually moves modeled runtimes past the band.
+"""
+
+import argparse
+import json
+import sys
+
+RUNTIME_SUFFIXES = ("_ms", "_seconds")
+WARNING_KEYS = ("warnings_total",)
+
+
+def is_runtime_key(key):
+    return any(key.endswith(s) for s in RUNTIME_SUFFIXES)
+
+
+def is_warning_key(path):
+    leaf = path[-1] if path else ""
+    return leaf in WARNING_KEYS or (len(path) >= 2 and path[-2] == "warnings_by_kind")
+
+
+def fmt(path):
+    return "/".join(str(p) for p in path) or "<root>"
+
+
+def compare(base, cand, tolerance, path=(), failures=None, notes=None):
+    if failures is None:
+        failures, notes = [], []
+    if type(base) is not type(cand) and not (
+        isinstance(base, (int, float)) and isinstance(cand, (int, float))
+    ):
+        failures.append(f"{fmt(path)}: type changed "
+                        f"({type(base).__name__} -> {type(cand).__name__})")
+    elif isinstance(base, dict):
+        missing = sorted(set(base) - set(cand))
+        extra = sorted(set(cand) - set(base))
+        if missing:
+            failures.append(f"{fmt(path)}: keys missing in candidate: {missing}")
+        if extra:
+            failures.append(f"{fmt(path)}: unexpected new keys: {extra}")
+        for key in sorted(set(base) & set(cand)):
+            compare(base[key], cand[key], tolerance, path + (key,), failures, notes)
+    elif isinstance(base, list):
+        if len(base) != len(cand):
+            failures.append(f"{fmt(path)}: list length {len(base)} -> {len(cand)}")
+        for i, (b, c) in enumerate(zip(base, cand)):
+            compare(b, c, tolerance, path + (i,), failures, notes)
+    elif isinstance(base, (int, float)):
+        leaf = str(path[-1]) if path else ""
+        if is_warning_key(path):
+            if cand > base:
+                failures.append(f"{fmt(path)}: health warnings increased "
+                                f"{base} -> {cand}")
+            elif cand != base:
+                notes.append(f"{fmt(path)}: warnings {base} -> {cand} (ok)")
+        elif is_runtime_key(leaf):
+            if base > 0 and (cand - base) / base > tolerance:
+                failures.append(
+                    f"{fmt(path)}: runtime regression {base:.6g} -> {cand:.6g} "
+                    f"(+{(cand - base) / base:.1%} > {tolerance:.0%})")
+            elif base > 0 and abs(cand - base) / base > 1e-9:
+                notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
+                             f"({(cand - base) / base:+.1%})")
+        elif cand != base:
+            notes.append(f"{fmt(path)}: {base} -> {cand} (informational)")
+    elif base != cand:
+        # Strings (including "schema") must match exactly.
+        failures.append(f"{fmt(path)}: value changed {base!r} -> {cand!r}")
+    return failures, notes
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max relative runtime regression (default 0.25)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    failures, notes = compare(base, cand, args.tolerance)
+    for n in notes:
+        print(f"  note: {n}")
+    if failures:
+        for f_ in failures:
+            print(f"  FAIL: {f_}", file=sys.stderr)
+        print(f"compare_bench: {len(failures)} failure(s) vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"compare_bench: candidate within bands of {args.baseline} "
+          f"({len(notes)} informational drift(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

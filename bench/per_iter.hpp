@@ -1,0 +1,84 @@
+// Per-iteration operation breakdown, reconstructed from the trace layer's
+// B/E span stream (OBSERVABILITY.md). Shared by `tab1_breakdown --per-iter`
+// and the machine-readable `bench_json` driver so both emit the same
+// numbers in the same stable column order.
+//
+// All accumulation is in double (the trace timestamps are double simulated
+// seconds; never narrow them — percentage columns computed from float
+// accumulators drift visibly over a 60-iteration cap).
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "metrics/health.hpp"
+#include "trace/trace.hpp"
+
+namespace gs::bench {
+
+/// The canonical operation column order for every per-iteration artifact
+/// (text table, CSV, JSON): price, ftran, ratio, update, refactor — the
+/// same order as the `simplex.op_seconds.*` metric names.
+inline constexpr std::array<std::string_view, 5> kOpColumns =
+    metrics::kSimplexOps;
+
+/// One simplex iteration: modeled seconds per operation (indexed in
+/// kOpColumns order) plus the iteration span's own bounds.
+struct IterationRow {
+  std::array<double, 5> op_seconds{};
+  double begin_ts = 0.0, end_ts = 0.0;
+  [[nodiscard]] double total() const { return end_ts - begin_ts; }
+};
+
+/// Column index of an op-span name, or kOpColumns.size() if not an op.
+[[nodiscard]] inline std::size_t op_column(std::string_view name) {
+  for (std::size_t k = 0; k < kOpColumns.size(); ++k) {
+    if (kOpColumns[k] == name) return k;
+  }
+  return kOpColumns.size();
+}
+
+/// Rebuild per-iteration rows from the event stream: walk B/E spans,
+/// attribute each "op" span's clock advance to its enclosing iteration.
+[[nodiscard]] inline std::vector<IterationRow> per_iteration_rows(
+    const std::vector<trace::TraceEvent>& events) {
+  std::vector<IterationRow> rows;
+  // Open-span stack of (name, begin-ts); "iteration" spans become rows.
+  std::vector<std::pair<std::string, double>> open;
+  for (const auto& e : events) {
+    if (e.phase == trace::EventPhase::kBegin) {
+      open.emplace_back(e.name, e.ts);
+      if (e.name == "iteration") {
+        rows.emplace_back();
+        rows.back().begin_ts = e.ts;
+      }
+    } else if (e.phase == trace::EventPhase::kEnd && !open.empty()) {
+      const auto [name, begin_ts] = open.back();
+      open.pop_back();
+      if (name == "iteration" && !rows.empty()) {
+        rows.back().end_ts = e.ts;
+      } else if (!rows.empty() && rows.back().end_ts == 0.0) {
+        const std::size_t k = op_column(name);
+        if (k < kOpColumns.size()) {
+          rows.back().op_seconds[k] += e.ts - begin_ts;
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+/// Sum of each op column across all rows, in kOpColumns order.
+[[nodiscard]] inline std::array<double, 5> op_totals(
+    const std::vector<IterationRow>& rows) {
+  std::array<double, 5> totals{};
+  for (const IterationRow& r : rows) {
+    for (std::size_t k = 0; k < totals.size(); ++k) {
+      totals[k] += r.op_seconds[k];
+    }
+  }
+  return totals;
+}
+
+}  // namespace gs::bench

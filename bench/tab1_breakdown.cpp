@@ -10,53 +10,19 @@
 //   --quick       smaller instance (m = n = 256) for smoke runs
 //   --per-iter    additionally reconstruct a per-iteration operation
 //                 breakdown from the trace layer (OBSERVABILITY.md): one
-//                 row per iteration with the modeled time of each
-//                 algorithm phase (price / ftran / ratio / update)
+//                 row per iteration with the modeled time and share of
+//                 each algorithm phase, in the stable bench::kOpColumns
+//                 order (price / ftran / ratio / update / refactor) that
+//                 bench_json reuses
 //   --trace FILE  dump the solve as Chrome trace JSON to FILE
-#include <map>
-
 #include "bench/common.hpp"
+#include "bench/per_iter.hpp"
 #include "trace/chrome_sink.hpp"
 #include "vgpu/stats_report.hpp"
 
 namespace {
 
 using namespace gs;
-
-/// Rebuild per-iteration rows from the event stream: walk B/E spans,
-/// attribute each "op" span's clock advance to its iteration.
-struct IterationRow {
-  std::map<std::string, double> op_seconds;
-  double begin_ts = 0.0, end_ts = 0.0;
-  [[nodiscard]] double total() const { return end_ts - begin_ts; }
-};
-
-std::vector<IterationRow> per_iteration_rows(
-    const std::vector<trace::TraceEvent>& events) {
-  std::vector<IterationRow> rows;
-  // Open-span stack of (name, begin-ts); "iteration" spans become rows.
-  std::vector<std::pair<std::string, double>> open;
-  for (const auto& e : events) {
-    if (e.phase == trace::EventPhase::kBegin) {
-      open.emplace_back(e.name, e.ts);
-      if (e.name == "iteration") {
-        rows.emplace_back();
-        rows.back().begin_ts = e.ts;
-      }
-    } else if (e.phase == trace::EventPhase::kEnd && !open.empty()) {
-      const auto [name, begin_ts] = open.back();
-      open.pop_back();
-      if (name == "iteration" && !rows.empty()) {
-        rows.back().end_ts = e.ts;
-      } else if (!rows.empty() && rows.back().end_ts == 0.0 &&
-                 (name == "price" || name == "ftran" || name == "ratio" ||
-                  name == "update" || name == "refactor")) {
-        rows.back().op_seconds[name] += e.ts - begin_ts;
-      }
-    }
-  }
-  return rows;
-}
 
 }  // namespace
 
@@ -115,18 +81,28 @@ int main(int argc, char** argv) {
     // The paper's table is an aggregate; this mode shows its evolution —
     // how the operation mix changes iteration by iteration (the view
     // Huangfu & Hall use to diagnose revised-simplex implementations).
-    const auto rows = per_iteration_rows(sink.events());
-    Table it_table({"iteration", "price [ms]", "ftran [ms]", "ratio [ms]",
-                    "update [ms]", "total [ms]"});
+    const auto rows = bench::per_iteration_rows(sink.events());
+    std::vector<std::string> cols{"iteration"};
+    for (const std::string_view op : bench::kOpColumns) {
+      cols.push_back(std::string(op) + " [ms]");
+    }
+    cols.emplace_back("total [ms]");
+    for (const std::string_view op : bench::kOpColumns) {
+      cols.push_back(std::string(op) + " [%]");
+    }
+    Table it_table(cols);
     const std::size_t show = std::min<std::size_t>(rows.size(), 12);
     for (std::size_t i = 0; i < show; ++i) {
       auto& r = it_table.new_row();
       r.add(static_cast<double>(i));
-      for (const char* op : {"price", "ftran", "ratio", "update"}) {
-        const auto it = rows[i].op_seconds.find(op);
-        r.add((it == rows[i].op_seconds.end() ? 0.0 : it->second) * 1e3);
+      for (std::size_t k = 0; k < bench::kOpColumns.size(); ++k) {
+        r.add(rows[i].op_seconds[k] * 1e3);
       }
-      r.add(rows[i].total() * 1e3);
+      const double total = rows[i].total();
+      r.add(total * 1e3);
+      for (std::size_t k = 0; k < bench::kOpColumns.size(); ++k) {
+        r.add(total > 0.0 ? rows[i].op_seconds[k] / total * 100.0 : 0.0);
+      }
     }
     std::cout << "per-iteration breakdown (first " << show << " of "
               << rows.size() << " iterations):\n";

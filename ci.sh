@@ -29,6 +29,19 @@ run_config() {
 }
 
 run_config build        -DCMAKE_BUILD_TYPE=Release
+
+# Bench regression gate (OBSERVABILITY.md "Metrics"): regenerate the
+# machine-readable bench artifact from the Release build and diff it
+# against the committed baseline. Modeled runtimes get a 25% band;
+# health-warning counts at the fixed seeds must not increase.
+echo "==> bench-json regression gate"
+if command -v python3 > /dev/null 2>&1; then
+  (cd build && ./bench/bench_json BENCH_solver.json)
+  python3 bench/compare_bench.py BENCH_solver.json build/BENCH_solver.json
+else
+  echo "==> python3 not installed; skipping bench-json gate"
+fi
+
 run_config build-asan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=address,undefined
 run_config build-tsan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=thread
 

@@ -23,6 +23,14 @@
 //                                                        checked mode (see
 //                                                        CHECKING.md); any
 //                                                        finding exits 1
+//     --metrics[=file.json]                              collect counters/
+//                                                        histograms and
+//                                                        numerical-health
+//                                                        signals; print the
+//                                                        JSON snapshot (or
+//                                                        write it to the
+//                                                        file). See
+//                                                        OBSERVABILITY.md
 //
 // Exit code: 0 optimal, 2 infeasible, 3 unbounded, 4 iteration limit,
 // 1 usage/parse error.
@@ -38,6 +46,7 @@
 #include "lp/presolve.hpp"
 #include "lp/scaling.hpp"
 #include "lp/standard_form.hpp"
+#include "metrics/metrics.hpp"
 #include "simplex/solver.hpp"
 #include "trace/chrome_sink.hpp"
 #include "vgpu/check/check.hpp"
@@ -53,6 +62,7 @@ int usage() {
          "              [--basis B] [--device D] [--max-iters N]\n"
          "              [--presolve] [--scale pow10|geometric] [--duals]\n"
          "              [--stats] [--trace out.json] [--check]\n"
+         "              [--metrics[=out.json]]\n"
          "       lp_cli --gen dense:<size>[:seed] [options]\n";
   return 1;
 }
@@ -94,6 +104,8 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   bool presolve_on = false, duals_on = false, stats_on = false;
   bool ranging_on = false, check_on = false;
+  bool metrics_on = false;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--presolve") {
@@ -106,6 +118,14 @@ int main(int argc, char** argv) {
       stats_on = true;
     } else if (arg == "--check") {
       check_on = true;
+    } else if (arg == "--metrics") {
+      // Valueless form (prints to stdout); must be matched before the
+      // generic "--flag value" branch, which would eat the next argument.
+      metrics_on = true;
+    } else if (arg.starts_with("--metrics=")) {
+      metrics_on = true;
+      metrics_path = arg.substr(std::string("--metrics=").size());
+      if (metrics_path.empty()) return usage();
     } else if (arg.starts_with("--")) {
       if (i + 1 >= argc) return usage();
       flags[arg.substr(2)] = argv[++i];
@@ -167,6 +187,8 @@ int main(int argc, char** argv) {
     if (trace_on) options.trace_sink = &trace_sink;
     vgpu::check::Checker checker;
     if (check_on) options.checker = &checker;
+    metrics::MetricsRegistry registry;
+    if (metrics_on) options.metrics = &registry;
     if (auto it = flags.find("max-iters"); it != flags.end()) {
       options.max_iterations = static_cast<std::size_t>(std::stoul(it->second));
     }
@@ -293,6 +315,24 @@ int main(int argc, char** argv) {
       if (!checker.clean()) {
         std::cerr << "error: kernel-safety findings\n" << checker.report();
         return 1;
+      }
+    }
+    if (metrics_on) {
+      const metrics::MetricsSnapshot snap = registry.snapshot();
+      if (snap.warnings_total > 0) {
+        std::cout << "health warnings: " << snap.warnings_total << " (";
+        for (std::size_t w = 0; w < snap.warnings.size() && w < 3; ++w) {
+          std::cout << (w > 0 ? ", " : "") << snap.warnings[w].kind;
+        }
+        std::cout << (snap.warnings.size() > 3 ? ", ...)" : ")") << "\n";
+      }
+      if (metrics_path.empty()) {
+        std::cout << snap.to_json();
+      } else {
+        snap.write_file(metrics_path);
+        std::cout << "metrics: wrote " << snap.counters.size()
+                  << " counters, " << snap.histograms.size()
+                  << " histograms to " << metrics_path << "\n";
       }
     }
     return status_code(result.status);

@@ -1,0 +1,194 @@
+#include "metrics/metrics.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace gs::metrics {
+
+namespace {
+
+/// Build a geometric ladder at static-init time: n bounds starting at lo,
+/// multiplying by factor.
+template <std::size_t N>
+constexpr std::array<double, N> geometric(double lo, double factor) {
+  std::array<double, N> out{};
+  double v = lo;
+  for (std::size_t i = 0; i < N; ++i) {
+    out[i] = v;
+    v *= factor;
+  }
+  return out;
+}
+
+// 1e-7 s .. ~13 s, x2: covers one kernel launch through a full solve.
+constexpr auto kSecondsBuckets = geometric<28>(1e-7, 2.0);
+// 4 B .. ~1 GiB, x4: scalar readbacks through whole-matrix uploads.
+constexpr auto kBytesBuckets = geometric<15>(4.0, 4.0);
+// 1e-12 .. 1e12, x10: pivot magnitudes, residuals, growth factors.
+constexpr auto kMagnitudeBuckets = geometric<25>(1e-12, 10.0);
+
+}  // namespace
+
+std::span<const double> seconds_buckets() noexcept { return kSecondsBuckets; }
+std::span<const double> bytes_buckets() noexcept { return kBytesBuckets; }
+std::span<const double> magnitude_buckets() noexcept {
+  return kMagnitudeBuckets;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) {
+    if (!g.has_value()) continue;
+    snap.gauges[name] = {g.value(), g.min(), g.max()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = {h.bounds(), h.counts(), h.count(),
+                             h.sum(),    h.min(),    h.max()};
+  }
+  snap.warnings = warnings_;
+  snap.warnings_total = warnings_total_;
+  return snap;
+}
+
+void json_write_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void json_write_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void write_number_array(std::string& out, std::span<const double> values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    json_write_number(out, values[i]);
+  }
+  out += ']';
+}
+
+void write_count_array(std::string& out,
+                       std::span<const std::uint64_t> values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out += "{\n  \"schema\": ";
+  json_write_string(out, kSchema);
+
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_write_string(out, name);
+    out += ": ";
+    json_write_number(out, value);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_write_string(out, name);
+    out += ": {\"value\": ";
+    json_write_number(out, g.value);
+    out += ", \"min\": ";
+    json_write_number(out, g.min);
+    out += ", \"max\": ";
+    json_write_number(out, g.max);
+    out += "}";
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_write_string(out, name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": ";
+    json_write_number(out, h.sum);
+    out += ", \"min\": ";
+    json_write_number(out, h.min);
+    out += ", \"max\": ";
+    json_write_number(out, h.max);
+    out += ", \"bounds\": ";
+    write_number_array(out, h.bounds);
+    out += ", \"counts\": ";
+    write_count_array(out, h.counts);
+    out += "}";
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"warnings_total\": " + std::to_string(warnings_total);
+  out += ",\n  \"warnings\": [";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    const HealthWarning& w = warnings[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"kind\": ";
+    json_write_string(out, w.kind);
+    out += ", \"iteration\": " + std::to_string(w.iteration);
+    out += ", \"value\": ";
+    json_write_number(out, w.value);
+    out += ", \"threshold\": ";
+    json_write_number(out, w.threshold);
+    out += ", \"message\": ";
+    json_write_string(out, w.message);
+    out += "}";
+  }
+  out += warnings.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsSnapshot::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  GS_CHECK_MSG(out.good(), "cannot open metrics file for writing: " + path);
+  out << to_json();
+  out.flush();
+  GS_CHECK_MSG(out.good(), "failed writing metrics file: " + path);
+}
+
+}  // namespace gs::metrics

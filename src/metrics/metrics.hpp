@@ -1,0 +1,242 @@
+// Metrics core: a registry of named counters, gauges and fixed-bucket
+// histograms, plus structured numerical-health warnings.
+//
+// This is the third observability pillar next to the trace layer
+// (OBSERVABILITY.md) and the kernel-safety checker (CHECKING.md): traces
+// answer *where the modeled time went per event*, the checker answers
+// *whether the kernels were semantically safe*, and metrics answer *what
+// the aggregate counts and distributions were* — cheap enough to leave on
+// for a whole bench sweep and exportable as machine-readable JSON
+// (`MetricsSnapshot::to_json`), which is what `lp_cli --metrics` and the
+// `bench_json` regression baseline consume.
+//
+// Wiring follows the TraceSink/Checker pattern exactly: one borrowed
+// pointer in `SolverOptions::metrics`, off by default, and the disabled
+// path is a single pointer test per emission site. Attaching a registry
+// must not perturb the model — no DeviceStats field, iteration count or
+// result bit changes (tests/test_metrics.cpp asserts bit-identity).
+//
+// Like DeviceStats, the registry is written from the single thread that
+// issues kernel launches (the CUDA-stream convention), so it needs no
+// synchronization. References returned by counter()/gauge()/histogram()
+// are stable for the registry's lifetime (node-based storage), so hot
+// paths resolve a name once and keep the pointer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gs::metrics {
+
+/// Monotonically increasing tally. `double`-valued so one type covers
+/// event counts, byte totals and accumulated modeled seconds.
+class Counter {
+ public:
+  void inc(double delta = 1.0) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins sample that also remembers its running min/max.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (!seen_ || v < min_) min_ = v;
+    if (!seen_ || v > max_) max_ = v;
+    seen_ = true;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] bool has_value() const noexcept { return seen_; }
+
+ private:
+  double value_ = 0.0, min_ = 0.0, max_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Fixed-bucket histogram. Bucket k counts observations with
+/// `v <= upper_bounds[k]` (first match); one implicit overflow bucket
+/// catches the rest, so counts().size() == bounds().size() + 1. Bounds are
+/// fixed at creation — no rebucketing, no allocation per observe().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void observe(double v) noexcept {
+    std::size_t k = 0;
+    while (k < bounds_.size() && v > bounds_[k]) ++k;
+    ++counts_[k];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< per bucket + trailing overflow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// A structured numerical-health finding raised by the HealthMonitor
+/// (health.hpp) when a sampled signal crosses its configured threshold.
+struct HealthWarning {
+  std::string kind;     ///< "residual-drift", "tiny-pivot", "stall", ...
+  std::string message;  ///< human-readable one-liner
+  double value = 0.0;       ///< the offending sample
+  double threshold = 0.0;   ///< the configured limit it crossed
+  std::size_t iteration = 0;  ///< simplex iteration of the sample
+};
+
+/// Default bucket ladders, shared so every component's histograms use the
+/// same schema: modeled seconds (1e-7 s … ~100 s, x2 per bucket), byte
+/// sizes (4 B … ~1 GiB, x4), and magnitudes (1e-12 … 1e12, x10 — pivot
+/// elements, residuals).
+[[nodiscard]] std::span<const double> seconds_buckets() noexcept;
+[[nodiscard]] std::span<const double> bytes_buckets() noexcept;
+[[nodiscard]] std::span<const double> magnitude_buckets() noexcept;
+
+struct MetricsSnapshot;
+
+/// Owner of all metrics for one observed scope (typically one solve or one
+/// bench sweep; the caller decides and may aggregate several solves into
+/// one registry). Metric families are created lazily on first use;
+/// returned references stay valid until the registry is destroyed.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), Counter{}).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] Gauge& gauge(std::string_view name) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(std::string(name), Gauge{}).first;
+    }
+    return it->second;
+  }
+
+  /// `upper_bounds` is consulted only when `name` is first created; later
+  /// calls return the existing histogram unchanged.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> upper_bounds) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(std::string(name),
+                        Histogram(std::vector<double>(upper_bounds.begin(),
+                                                      upper_bounds.end())))
+               .first;
+    }
+    return it->second;
+  }
+
+  /// Record a health warning: bumps `health.warnings` and the per-kind
+  /// counter `health.warnings.<kind>`, and stores the structured record
+  /// (capped at kMaxStoredWarnings; the counters keep exact totals).
+  void warn(HealthWarning warning) {
+    counter("health.warnings").inc();
+    counter(std::string("health.warnings.") + warning.kind).inc();
+    ++warnings_total_;
+    if (warnings_.size() < kMaxStoredWarnings) {
+      warnings_.push_back(std::move(warning));
+    }
+  }
+
+  [[nodiscard]] const std::vector<HealthWarning>& warnings() const noexcept {
+    return warnings_;
+  }
+  /// Exact number of warn() calls, even past the storage cap.
+  [[nodiscard]] std::size_t warnings_total() const noexcept {
+    return warnings_total_;
+  }
+
+  [[nodiscard]] const auto& counters() const noexcept { return counters_; }
+  [[nodiscard]] const auto& gauges() const noexcept { return gauges_; }
+  [[nodiscard]] const auto& histograms() const noexcept { return histograms_; }
+
+  /// Deep-copy the current state for export (the registry keeps counting).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Drop every metric and warning (e.g. between sweep points).
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    warnings_.clear();
+    warnings_total_ = 0;
+  }
+
+  static constexpr std::size_t kMaxStoredWarnings = 256;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::vector<HealthWarning> warnings_;
+  std::size_t warnings_total_ = 0;
+};
+
+/// Point-in-time copy of a registry, decoupled from further updates. The
+/// JSON schema is stable: top-level keys `schema`, `counters`, `gauges`,
+/// `histograms`, `warnings_total`, `warnings`, with metric names sorted
+/// lexicographically (map order) — diffs between snapshots are therefore
+/// line-stable. Documented in OBSERVABILITY.md ("Metrics JSON schema").
+struct MetricsSnapshot {
+  static constexpr std::string_view kSchema = "gs-metrics-v1";
+
+  struct GaugeData {
+    double value = 0.0, min = 0.0, max = 0.0;
+  };
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+  };
+
+  std::map<std::string, double> counters;
+  std::map<std::string, GaugeData> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::vector<HealthWarning> warnings;
+  std::size_t warnings_total = 0;
+
+  [[nodiscard]] std::string to_json() const;
+  void write_file(const std::string& path) const;
+};
+
+/// Minimal JSON emission helpers shared by the snapshot writer and the
+/// bench_json driver (same %.17g round-trippable doubles as the Chrome
+/// trace sink; JSON has no NaN/Inf, so non-finite values are emitted as
+/// null).
+void json_write_number(std::string& out, double v);
+void json_write_string(std::string& out, std::string_view s);
+
+}  // namespace gs::metrics

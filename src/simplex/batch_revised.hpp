@@ -46,6 +46,16 @@ class BatchRevisedSimplex {
     dev_.reset_stats();
     dev_.set_trace(opt_.trace_sink);
     dev_.set_checker(opt_.checker);
+    dev_.set_metrics(opt_.metrics);
+    // Batch-level metrics: lock-step rounds and the shrinking active set.
+    // The per-problem pivot streams are fused into wide kernels here, so
+    // the batch engine reports round granularity, not per-problem health.
+    metrics::Counter* rounds_metric = nullptr;
+    metrics::Gauge* active_metric = nullptr;
+    if (opt_.metrics != nullptr) {
+      rounds_metric = &opt_.metrics->counter("batch.rounds");
+      active_metric = &opt_.metrics->gauge("batch.active_problems");
+    }
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
     if (tr.enabled()) tr.name_thread("batch-revised");
@@ -346,6 +356,10 @@ class BatchRevisedSimplex {
       if (tr.enabled()) {
         tr.counter("active_problems", dev_.sim_seconds(),
                    static_cast<double>(n_active));
+      }
+      if (rounds_metric != nullptr) {
+        rounds_metric->inc();
+        active_metric->set(static_cast<double>(n_active));
       }
     }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/machine_model.hpp"
@@ -28,12 +29,25 @@ namespace gs::simplex {
 /// traces reconcile with Device::stats().
 class CostMeter {
  public:
-  /// `sink` may be null (tracing off; the disabled path is one branch).
+  /// `sink` and `registry` may be null (that observer off; each disabled
+  /// path is one branch). Metrics mirror the same per-step charges under
+  /// `cpu.step.*` names, distinct from the device's `vgpu.kernel.*`, so a
+  /// GPU-vs-CPU run in one registry keeps the two machines separable.
   explicit CostMeter(vgpu::MachineModel model,
-                     trace::TraceSink* sink = nullptr)
+                     trace::TraceSink* sink = nullptr,
+                     metrics::MetricsRegistry* registry = nullptr)
       : model_(std::move(model)),
-        trace_(sink, trace::kHostPid, trace::kEngineTid) {
+        trace_(sink, trace::kHostPid, trace::kEngineTid),
+        metrics_(registry) {
     if (trace_.enabled()) trace_.name_process("cpu: " + model_.name);
+    if (metrics_ != nullptr) {
+      step_count_ = &metrics_->counter("cpu.step.count");
+      step_seconds_ = &metrics_->counter("cpu.step.seconds");
+      step_flops_ = &metrics_->counter("cpu.step.flops");
+      step_bytes_ = &metrics_->counter("cpu.step.bytes");
+      step_hist_ = &metrics_->histogram("cpu.step_seconds",
+                                        metrics::seconds_buckets());
+    }
   }
 
   /// Charge one step: `flops` floating ops and `bytes` of memory traffic.
@@ -44,6 +58,13 @@ class CostMeter {
     if (trace_.enabled()) {
       trace_.complete(step, stats_.sim_seconds(), t, "kernel",
                       {{"flops", flops}, {"bytes", bytes}, {"sim_seconds", t}});
+    }
+    if (metrics_ != nullptr) {
+      step_count_->inc();
+      step_seconds_->inc(t);
+      step_flops_->inc(flops);
+      step_bytes_->inc(bytes);
+      step_hist_->observe(t);
     }
     ++stats_.kernel_launches;
     stats_.kernel_seconds += t;
@@ -77,10 +98,21 @@ class CostMeter {
   /// engines reuse it for their algorithm-phase spans.
   [[nodiscard]] const trace::Track& trace() const noexcept { return trace_; }
 
+  /// The attached metrics registry, or nullptr.
+  [[nodiscard]] metrics::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   vgpu::MachineModel model_;
   vgpu::DeviceStats stats_;
   trace::Track trace_;
+  metrics::MetricsRegistry* metrics_;  ///< borrowed; nullptr = off
+  metrics::Counter* step_count_ = nullptr;
+  metrics::Counter* step_seconds_ = nullptr;
+  metrics::Counter* step_flops_ = nullptr;
+  metrics::Counter* step_bytes_ = nullptr;
+  metrics::Histogram* step_hist_ = nullptr;
 };
 
 }  // namespace gs::simplex

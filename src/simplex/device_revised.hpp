@@ -60,6 +60,12 @@ class DeviceRevisedSimplex {
     dev_.reset_stats();
     dev_.set_trace(opt_.trace_sink);
     dev_.set_checker(opt_.checker);
+    dev_.set_metrics(opt_.metrics);
+    // Solver-level metrics live for the whole solve (not per run_loop call)
+    // so stall streaks and Bland activations span the phase boundary.
+    metrics::SimplexOpMetrics op_metrics;
+    op_metrics.attach(opt_.metrics);
+    metrics::HealthMonitor health(opt_.metrics, opt_.health);
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
     if (tr.enabled()) tr.name_thread(engine_name());
@@ -82,7 +88,8 @@ class DeviceRevisedSimplex {
     if (aug.num_artificial > 0) {
       trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
       ws.load_costs(aug.c_phase1);
-      const LoopExit exit = run_loop(ws, budget, result.stats);
+      const LoopExit exit =
+          run_loop(ws, budget, result.stats, op_metrics, health);
       result.stats.phase1_iterations = result.stats.iterations;
       if (exit == LoopExit::kIterationLimit) {
         return finish(result, SolveStatus::kIterationLimit, wall);
@@ -107,7 +114,7 @@ class DeviceRevisedSimplex {
     {
       trace::ScopedSpan phase_span(tr, "phase2", clock, "phase");
       ws.load_costs(aug.c_phase2);
-      exit = run_loop(ws, budget, result.stats);
+      exit = run_loop(ws, budget, result.stats, op_metrics, health);
     }
     switch (exit) {
       case LoopExit::kOptimal:
@@ -700,9 +707,23 @@ class DeviceRevisedSimplex {
   // Main loop
   // ---------------------------------------------------------------------
 
-  LoopExit run_loop(Workspace& ws, std::size_t budget, SolverStats& stats) {
+  LoopExit run_loop(Workspace& ws, std::size_t budget, SolverStats& stats,
+                    metrics::SimplexOpMetrics& om,
+                    metrics::HealthMonitor& health) {
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
+    // Per-op modeled-time laps on the simulated clock: `lap` advances at
+    // each op boundary, so scalar readbacks between ops (alpha_p, d_q) are
+    // charged to the op that consumes them — the same tiling the trace's
+    // op spans produce.
+    const bool om_on = om.enabled();
+    double lap = om_on ? dev_.sim_seconds() : 0.0;
+    const auto lap_observe = [&](metrics::SimplexOp op) {
+      if (!om_on) return;
+      const double now = dev_.sim_seconds();
+      om.observe(op, now - lap);
+      lap = now;
+    };
     double z = ws.current_objective();
     std::size_t since_improve = 0;
     bool bland_mode = false;
@@ -714,6 +735,7 @@ class DeviceRevisedSimplex {
 
       trace::ScopedSpan iter_span(tr, "iteration", clock, "iteration",
                                   {{"iter", static_cast<double>(iter)}});
+      if (om_on) lap = dev_.sim_seconds();
 
       std::optional<std::size_t> entering;
       Real d_q{};
@@ -724,6 +746,7 @@ class DeviceRevisedSimplex {
         entering = select_entering(ws, bland_mode);
         if (entering.has_value()) d_q = ws.d.download_value(*entering);
       }
+      lap_observe(metrics::SimplexOp::kPrice);
       if (!entering.has_value()) return LoopExit::kOptimal;
       const std::size_t q = *entering;
 
@@ -731,12 +754,14 @@ class DeviceRevisedSimplex {
         trace::ScopedSpan op(tr, "ftran", clock, "op");
         ftran(ws, q);
       }
+      lap_observe(metrics::SimplexOp::kFtran);
       vgpu::ArgResult<Real> leave;
       {
         trace::ScopedSpan op(tr, "ratio", clock, "op");
         ratio_test_kernel(ws);
         leave = vgpu::argmin(ws.ratio);
       }
+      lap_observe(metrics::SimplexOp::kRatio);
       if (!leave.found() || leave.value == kInf) return LoopExit::kUnbounded;
       const std::size_t p = leave.index;
       const Real theta = leave.value;
@@ -749,7 +774,12 @@ class DeviceRevisedSimplex {
         }
         pivot(ws, q, p, theta, alpha_p);
       }
+      lap_observe(metrics::SimplexOp::kUpdate);
       ++stats.iterations;
+      om.count_iteration();
+      health.record_pivot(
+          static_cast<double>(alpha_p), static_cast<double>(theta),
+          bland_mode || ws.options.pricing == PricingRule::kBland, iter);
 
       const double dz = static_cast<double>(theta) * static_cast<double>(d_q);
       const double new_z = z + dz;
@@ -778,9 +808,73 @@ class DeviceRevisedSimplex {
         } else {
           reinvert(ws);
         }
+        lap_observe(metrics::SimplexOp::kRefactor);
       }
+
+      if (health.want_residual_sample(iter)) sample_health(ws, health, iter);
     }
     return LoopExit::kIterationLimit;
+  }
+
+  /// HealthMonitor sampling hook (strided; see HealthConfig). Reads device
+  /// state through DeviceBuffer::host_view() — outside the machine model,
+  /// so sampling charges no PCIe time and perturbs nothing.
+  ///
+  /// Explicit inverse: probe `residual_probes` entries of B·B⁻¹ − I — for
+  /// a probed (i, j), row i of B comes straight from the standard form's
+  /// sparse rows (plus any basic artificial on that row), so one probe is
+  /// O(nnz(row i)); the max |probe| is a cheap lower-bound estimate of
+  /// `‖B·B⁻¹ − I‖∞` that tracks drift in the rank-1 update. Growth is the
+  /// max |B⁻¹| over the probed rows. Product-form / LU schemes have no
+  /// drifting inverse to probe; they report the eta-file length instead.
+  void sample_health(Workspace& ws, metrics::HealthMonitor& health,
+                     std::size_t iter) {
+    if (ws.options.basis != BasisScheme::kExplicitInverse) {
+      health.record_eta_count(ws.etas.size());
+      return;
+    }
+    const std::size_t m = ws.m;
+    const std::span<const Real> binv = ws.binv.buffer().host_view();
+    std::vector<std::int64_t> pos_of_col(ws.n_aug, -1);
+    for (std::size_t k = 0; k < m; ++k) {
+      pos_of_col[ws.basic[k]] = static_cast<std::int64_t>(k);
+    }
+    const lp::StandardFormLp& sf = *ws.aug.source;
+    const std::size_t probes =
+        std::max<std::size_t>(1, health.config().residual_probes);
+    const std::size_t step = std::max<std::size_t>(1, m / probes);
+    double residual = 0.0;
+    double growth = 0.0;
+    for (std::size_t t = 0; t < probes; ++t) {
+      // Rotate the probed rows with the iteration so successive samples
+      // cover different parts of the inverse; alternate diagonal and
+      // off-diagonal targets.
+      const std::size_t i = (iter + t * step) % m;
+      const std::size_t j = (t % 2 == 0) ? i : (i + 1) % m;
+      double acc = 0.0;
+      for (const lp::Term& term : sf.rows[i]) {
+        const std::int64_t k = pos_of_col[term.var];
+        if (k >= 0) {
+          acc += term.coef * static_cast<double>(
+                                 binv[static_cast<std::size_t>(k) * m + j]);
+        }
+      }
+      for (std::size_t a = 0; a < ws.aug.num_artificial; ++a) {
+        if (ws.aug.artificial_rows[a] != i) continue;
+        const std::int64_t k = pos_of_col[ws.aug.n + a];
+        if (k >= 0) {
+          acc += static_cast<double>(binv[static_cast<std::size_t>(k) * m + j]);
+        }
+      }
+      const double r = std::abs(acc - (i == j ? 1.0 : 0.0));
+      if (r > residual) residual = r;
+      for (std::size_t col = 0; col < m; ++col) {
+        const double v = std::abs(static_cast<double>(binv[i * m + col]));
+        if (v > growth) growth = v;
+      }
+    }
+    health.record_residual(residual, iter);
+    health.record_growth(growth, iter);
   }
 
   /// Apply one basis exchange: entering column q replaces row p's variable.

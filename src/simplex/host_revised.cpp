@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "metrics/health.hpp"
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
@@ -259,11 +260,55 @@ void pivot(State& s, std::size_t q, std::size_t p, double theta) {
   return out;
 }
 
+/// HealthMonitor sampling hook for the host engine (strided; see
+/// HealthConfig). Probes entries of B·B⁻¹ − I directly from the dense A^T
+/// — column k of B is the constraint column of basic[k], so one probe is
+/// an O(m) dot product — and takes max |B⁻¹| over the probed rows as the
+/// growth estimate. Pure reads; charges nothing to the meter.
+void sample_health(const State& s, metrics::HealthMonitor& health,
+                   std::size_t iter) {
+  const std::size_t m = s.m;
+  const std::size_t probes =
+      std::max<std::size_t>(1, health.config().residual_probes);
+  const std::size_t step = std::max<std::size_t>(1, m / probes);
+  double residual = 0.0;
+  double growth = 0.0;
+  for (std::size_t t = 0; t < probes; ++t) {
+    const std::size_t i = (iter + t * step) % m;
+    const std::size_t j = (t % 2 == 0) ? i : (i + 1) % m;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      acc += s.at(s.basic[k], i) * s.binv(k, j);
+    }
+    const double r = std::abs(acc - (i == j ? 1.0 : 0.0));
+    if (r > residual) residual = r;
+    const auto row = s.binv.row(i);
+    for (std::size_t col = 0; col < m; ++col) {
+      const double v = std::abs(row[col]);
+      if (v > growth) growth = v;
+    }
+  }
+  health.record_residual(residual, iter);
+  health.record_growth(growth, iter);
+}
+
 enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
-LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
+LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
+                  metrics::SimplexOpMetrics& om,
+                  metrics::HealthMonitor& health) {
   const trace::Track& tr = s.meter.trace();
   const auto clock = [&s] { return s.meter.sim_seconds(); };
+  // Per-op laps on the meter's simulated clock, advancing at op
+  // boundaries — the metrics mirror of the trace's op spans.
+  const bool om_on = om.enabled();
+  double lap = 0.0;
+  const auto lap_observe = [&](metrics::SimplexOp op) {
+    if (!om_on) return;
+    const double now = s.meter.sim_seconds();
+    om.observe(op, now - lap);
+    lap = now;
+  };
   double z = s.objective();
   std::size_t since_improve = 0;
   for (std::size_t iter = 0; iter < budget; ++iter) {
@@ -273,6 +318,7 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
          since_improve >= s.opt.degeneracy_window);
     trace::ScopedSpan iter_span(tr, "iteration", clock, "iteration",
                                 {{"iter", static_cast<double>(iter)}});
+    if (om_on) lap = s.meter.sim_seconds();
     std::optional<std::size_t> entering;
     {
       trace::ScopedSpan op(tr, "price", clock, "op");
@@ -280,6 +326,7 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
       price(s);
       entering = select_entering(s, bland);
     }
+    lap_observe(metrics::SimplexOp::kPrice);
     if (!entering.has_value()) return LoopExit::kOptimal;
     const std::size_t q = *entering;
     const double d_q = s.d[q];
@@ -287,18 +334,25 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats) {
       trace::ScopedSpan op(tr, "ftran", clock, "op");
       ftran(s, q);
     }
+    lap_observe(metrics::SimplexOp::kFtran);
     std::optional<std::pair<std::size_t, double>> leave;
     {
       trace::ScopedSpan op(tr, "ratio", clock, "op");
       leave = ratio_test(s);
     }
+    lap_observe(metrics::SimplexOp::kRatio);
     if (!leave.has_value()) return LoopExit::kUnbounded;
     const auto [p, theta] = *leave;
+    const double alpha_p = s.alpha[p];
     {
       trace::ScopedSpan op(tr, "update", clock, "op");
       pivot(s, q, p, theta);
     }
+    lap_observe(metrics::SimplexOp::kUpdate);
     ++stats.iterations;
+    om.count_iteration();
+    health.record_pivot(alpha_p, theta, bland, iter);
+    if (health.want_residual_sample(iter)) sample_health(s, health, iter);
     const double new_z = z + theta * d_q;
     if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
       since_improve = 0;
@@ -347,7 +401,12 @@ SolveResult HostRevisedSimplex::solve(const lp::LpProblem& problem) const {
 SolveResult HostRevisedSimplex::solve_standard(
     const lp::StandardFormLp& sf) const {
   WallTimer wall;
-  CostMeter meter(model_, options_.trace_sink);
+  CostMeter meter(model_, options_.trace_sink, options_.metrics);
+  // Solver-level metrics live for the whole solve (not per run_loop call)
+  // so stall streaks and Bland activations span the phase boundary.
+  metrics::SimplexOpMetrics op_metrics;
+  op_metrics.attach(options_.metrics);
+  metrics::HealthMonitor health(options_.metrics, options_.health);
   const trace::Track& tr = meter.trace();
   const auto clock = [&meter] { return meter.sim_seconds(); };
   if (tr.enabled()) tr.name_thread("host-revised");
@@ -368,7 +427,8 @@ SolveResult HostRevisedSimplex::solve_standard(
   if (aug.num_artificial > 0) {
     trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
     state.c = aug.c_phase1;
-    const LoopExit exit = run_loop(state, budget, result.stats);
+    const LoopExit exit =
+        run_loop(state, budget, result.stats, op_metrics, health);
     result.stats.phase1_iterations = result.stats.iterations;
     if (exit == LoopExit::kIterationLimit) {
       return finish(SolveStatus::kIterationLimit);
@@ -389,7 +449,7 @@ SolveResult HostRevisedSimplex::solve_standard(
   {
     trace::ScopedSpan phase_span(tr, "phase2", clock, "phase");
     state.c = aug.c_phase2;
-    exit = run_loop(state, budget, result.stats);
+    exit = run_loop(state, budget, result.stats, op_metrics, health);
   }
   if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
   if (exit == LoopExit::kIterationLimit) {

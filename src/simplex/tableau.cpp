@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "metrics/health.hpp"
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
@@ -126,7 +127,9 @@ void eliminate(Tableau& t, std::size_t p, std::size_t q) {
 
 enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
-LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats) {
+LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats,
+                  metrics::SimplexOpMetrics& om,
+                  metrics::HealthMonitor& health) {
   std::size_t since_improve = 0;
   double last_obj = kInf;
   for (std::size_t iter = 0; iter < budget; ++iter) {
@@ -152,8 +155,13 @@ LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats) {
     }
     t.meter.charge("ratio", double(t.m), double(2 * t.m * sizeof(double)));
     if (p == t.m) return LoopExit::kUnbounded;
+    // The full tableau maintains no B^-1 to probe for residual drift; the
+    // health signals here are the pivot stream (magnitude, degeneracy,
+    // Bland activations) and the iteration tally.
+    health.record_pivot(t.body(p, q), theta, bland, iter);
     eliminate(t, p, q);
     ++stats.iterations;
+    om.count_iteration();
     const double obj = t.z;
     if (obj < last_obj - 1e-12 * (1.0 + std::abs(last_obj))) {
       since_improve = 0;
@@ -195,7 +203,10 @@ SolveResult TableauSimplex::solve(const lp::LpProblem& problem) const {
 SolveResult TableauSimplex::solve_standard(
     const lp::StandardFormLp& sf) const {
   WallTimer wall;
-  CostMeter meter(model_, options_.trace_sink);
+  CostMeter meter(model_, options_.trace_sink, options_.metrics);
+  metrics::SimplexOpMetrics op_metrics;
+  op_metrics.attach(options_.metrics);
+  metrics::HealthMonitor health(options_.metrics, options_.health);
   const AugmentedLp aug = augment(sf);
   Tableau tab(aug, options_, meter);
 
@@ -211,7 +222,8 @@ SolveResult TableauSimplex::solve_standard(
   std::size_t budget = options_.max_iterations;
   if (aug.num_artificial > 0) {
     tab.price_from_scratch(aug.c_phase1);
-    const LoopExit exit = run_loop(tab, budget, result.stats);
+    const LoopExit exit =
+        run_loop(tab, budget, result.stats, op_metrics, health);
     result.stats.phase1_iterations = result.stats.iterations;
     if (exit == LoopExit::kIterationLimit) {
       return finish(SolveStatus::kIterationLimit);
@@ -229,7 +241,7 @@ SolveResult TableauSimplex::solve_standard(
   }
 
   tab.price_from_scratch(aug.c_phase2);
-  const LoopExit exit = run_loop(tab, budget, result.stats);
+  const LoopExit exit = run_loop(tab, budget, result.stats, op_metrics, health);
   if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
   if (exit == LoopExit::kIterationLimit) {
     return finish(SolveStatus::kIterationLimit);

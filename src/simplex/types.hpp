@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "metrics/health.hpp"
 #include "trace/trace.hpp"
 #include "vgpu/device.hpp"
 
@@ -116,6 +117,22 @@ struct SolverOptions {
   /// bit-identical with and without a checker, the same guarantee the
   /// trace sink gives. Borrowed, not owned; must outlive the solve.
   vgpu::check::Checker* checker = nullptr;
+
+  /// Optional metrics registry (OBSERVABILITY.md, "Metrics"). While
+  /// attached, the engine tallies per-kernel launch/byte/time counters on
+  /// its machine (`vgpu.*` / `cpu.*`), per-operation modeled-time
+  /// histograms (`simplex.op_seconds.*`), and the numerical-health signals
+  /// sampled by the HealthMonitor (`health.*`, thresholds from `health`
+  /// below) — all exportable as JSON via MetricsRegistry::snapshot()
+  /// (`lp_cli --metrics`). Null (the default) disables metrics: results,
+  /// DeviceStats and iteration paths are bit-identical with and without a
+  /// registry, the same guarantee the trace sink and checker give.
+  /// Borrowed, not owned; must outlive the solve.
+  metrics::MetricsRegistry* metrics = nullptr;
+
+  /// Thresholds and sampling cadence for the HealthMonitor; consulted only
+  /// when `metrics` is attached.
+  metrics::HealthConfig health;
 };
 
 /// Per-phase and aggregate counters.

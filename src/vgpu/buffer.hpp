@@ -51,10 +51,24 @@ class DeviceBuffer {
     return {storage_.data(), storage_.size(), device_->checker()};
   }
 
+  /// Instrumentation-only peek at device memory from the host, outside
+  /// the machine model: no PCIe time is charged, no trace slice or metric
+  /// is emitted, and no checker footprint is recorded. This exists for
+  /// observers that must not perturb the modeled solve — the
+  /// HealthMonitor's strided residual probes read B⁻¹ columns through it
+  /// (OBSERVABILITY.md). Never use it for algorithm data flow; that is
+  /// what download()/device_span() are for.
+  [[nodiscard]] std::span<const T> host_view() const noexcept {
+    return {storage_.data(), storage_.size()};
+  }
+
   /// Copy host -> device (whole buffer or prefix), charging PCIe time.
   /// The range check is overflow-safe: `offset + host.size()` could wrap
   /// for hostile offsets, so compare against the remaining capacity.
-  /// Zero-byte copies are no-ops — no PCIe operation is charged.
+  /// Zero-byte copies are no-ops: the early return precedes all
+  /// accounting, so no PCIe operation is charged and no trace slice or
+  /// metric is emitted — the disabled-path bit-identity guarantee holds
+  /// for empty transfers too.
   void upload(std::span<const T> host, std::size_t offset = 0) {
     GS_CHECK_MSG(offset <= storage_.size() &&
                      host.size() <= storage_.size() - offset,

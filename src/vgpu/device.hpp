@@ -15,6 +15,7 @@
 #include <string_view>
 #include <utility>
 
+#include "metrics/metrics.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
 #include "vgpu/check/check.hpp"
@@ -112,6 +113,42 @@ class Device {
   /// CheckedSpans it hands out.
   [[nodiscard]] check::Checker* checker() const noexcept { return check_; }
 
+  /// Attach (or with nullptr detach) a metrics registry (OBSERVABILITY.md,
+  /// "Metrics"). While attached, every kernel launch updates the aggregate
+  /// `vgpu.kernel.*` counters, the `vgpu.kernel_seconds` histogram and the
+  /// per-kernel-name `vgpu.kernel.<name>.{launches,seconds,bytes}` tallies,
+  /// and every PCIe copy updates `vgpu.{h2d,d2h}.*` plus the transfer-size
+  /// histograms. All metric references are resolved here (and on first
+  /// sight of a new kernel name), so the per-launch cost is pointer bumps.
+  /// Detached (the default) costs one branch per launch/copy; attaching
+  /// changes no DeviceStats field or result bit.
+  void set_metrics(metrics::MetricsRegistry* registry) {
+    metrics_ = registry;
+    kernel_metrics_.clear();
+    if (registry == nullptr) return;
+    agg_.kernel_launches = &registry->counter("vgpu.kernel.launches");
+    agg_.kernel_seconds = &registry->counter("vgpu.kernel.seconds");
+    agg_.kernel_flops = &registry->counter("vgpu.kernel.flops");
+    agg_.kernel_bytes = &registry->counter("vgpu.kernel.bytes");
+    agg_.kernel_hist = &registry->histogram("vgpu.kernel_seconds",
+                                            metrics::seconds_buckets());
+    agg_.h2d_count = &registry->counter("vgpu.h2d.count");
+    agg_.h2d_bytes = &registry->counter("vgpu.h2d.bytes");
+    agg_.h2d_seconds = &registry->counter("vgpu.h2d.seconds");
+    agg_.h2d_hist =
+        &registry->histogram("vgpu.h2d_bytes", metrics::bytes_buckets());
+    agg_.d2h_count = &registry->counter("vgpu.d2h.count");
+    agg_.d2h_bytes = &registry->counter("vgpu.d2h.bytes");
+    agg_.d2h_seconds = &registry->counter("vgpu.d2h.seconds");
+    agg_.d2h_hist =
+        &registry->histogram("vgpu.d2h_bytes", metrics::bytes_buckets());
+  }
+
+  /// The attached metrics registry, or nullptr.
+  [[nodiscard]] metrics::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
   /// Simulated time elapsed on this device since the last reset.
   [[nodiscard]] double sim_seconds() const noexcept {
     return stats_.sim_seconds();
@@ -179,6 +216,12 @@ class Device {
       trace_.complete("h2d", stats_.sim_seconds(), t, "transfer",
                       {{"bytes", static_cast<double>(bytes)}});
     }
+    if (metrics_ != nullptr) {
+      agg_.h2d_count->inc();
+      agg_.h2d_bytes->inc(static_cast<double>(bytes));
+      agg_.h2d_seconds->inc(t);
+      agg_.h2d_hist->observe(static_cast<double>(bytes));
+    }
     ++stats_.h2d_count;
     stats_.h2d_bytes += bytes;
     stats_.h2d_seconds += t;
@@ -190,6 +233,12 @@ class Device {
     if (trace_.enabled()) {
       trace_.complete("d2h", stats_.sim_seconds(), t, "transfer",
                       {{"bytes", static_cast<double>(bytes)}});
+    }
+    if (metrics_ != nullptr) {
+      agg_.d2h_count->inc();
+      agg_.d2h_bytes->inc(static_cast<double>(bytes));
+      agg_.d2h_seconds->inc(t);
+      agg_.d2h_hist->observe(static_cast<double>(bytes));
     }
     ++stats_.d2h_count;
     stats_.d2h_bytes += bytes;
@@ -212,6 +261,17 @@ class Device {
                        {"threads", static_cast<double>(threads)},
                        {"sim_seconds", t}});
     }
+    if (metrics_ != nullptr) {
+      agg_.kernel_launches->inc();
+      agg_.kernel_seconds->inc(t);
+      agg_.kernel_flops->inc(cost.flops);
+      agg_.kernel_bytes->inc(cost.bytes);
+      agg_.kernel_hist->observe(t);
+      const KernelMetricRefs& km = kernel_metric_refs(name);
+      km.launches->inc();
+      km.seconds->inc(t);
+      km.bytes->inc(cost.bytes);
+    }
     ++stats_.kernel_launches;
     stats_.kernel_seconds += t;
     stats_.total_flops += cost.flops;
@@ -227,11 +287,52 @@ class Device {
     rec.bytes += cost.bytes;
   }
 
+  /// Metric references resolved once per kernel name (first launch pays
+  /// the name lookup/creation; later launches hit this cache).
+  struct KernelMetricRefs {
+    metrics::Counter* launches = nullptr;
+    metrics::Counter* seconds = nullptr;
+    metrics::Counter* bytes = nullptr;
+  };
+
+  /// Aggregate metric references resolved at set_metrics() time; valid only
+  /// while metrics_ != nullptr (registry node storage keeps them stable).
+  struct AggregateMetricRefs {
+    metrics::Counter* kernel_launches = nullptr;
+    metrics::Counter* kernel_seconds = nullptr;
+    metrics::Counter* kernel_flops = nullptr;
+    metrics::Counter* kernel_bytes = nullptr;
+    metrics::Histogram* kernel_hist = nullptr;
+    metrics::Counter* h2d_count = nullptr;
+    metrics::Counter* h2d_bytes = nullptr;
+    metrics::Counter* h2d_seconds = nullptr;
+    metrics::Histogram* h2d_hist = nullptr;
+    metrics::Counter* d2h_count = nullptr;
+    metrics::Counter* d2h_bytes = nullptr;
+    metrics::Counter* d2h_seconds = nullptr;
+    metrics::Histogram* d2h_hist = nullptr;
+  };
+
+  const KernelMetricRefs& kernel_metric_refs(std::string_view name) {
+    auto it = kernel_metrics_.find(name);
+    if (it == kernel_metrics_.end()) {
+      const std::string base = "vgpu.kernel." + std::string(name);
+      KernelMetricRefs refs{&metrics_->counter(base + ".launches"),
+                            &metrics_->counter(base + ".seconds"),
+                            &metrics_->counter(base + ".bytes")};
+      it = kernel_metrics_.emplace(std::string(name), refs).first;
+    }
+    return it->second;
+  }
+
   MachineModel model_;
   ThreadPool pool_;
   DeviceStats stats_;
   trace::Track trace_;
   check::Checker* check_ = nullptr;  ///< borrowed; see set_checker()
+  metrics::MetricsRegistry* metrics_ = nullptr;  ///< borrowed; see set_metrics()
+  AggregateMetricRefs agg_;
+  std::map<std::string, KernelMetricRefs, std::less<>> kernel_metrics_;
 };
 
 }  // namespace gs::vgpu
