@@ -17,12 +17,21 @@
 
 namespace gs::bench {
 
+/// True when `flag` appears anywhere on the command line (benches take
+/// mode flags in any order, e.g. `fig3_precision --tiny --diff`).
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
 /// Standard sweep sizes for the dense figures. `--quick` on the command
-/// line truncates the sweep for smoke runs.
+/// line truncates the sweep for smoke runs; `--tiny` shrinks it further
+/// for ctest tier-1 coverage.
 inline std::vector<std::size_t> dense_sizes(int argc, char** argv) {
-  const bool quick =
-      argc > 1 && std::string_view(argv[1]) == "--quick";
-  if (quick) return {64, 128, 256};
+  if (has_flag(argc, argv, "--tiny")) return {16, 24, 32};
+  if (has_flag(argc, argv, "--quick")) return {64, 128, 256};
   return {64, 128, 256, 384, 512, 768, 1024, 1536, 2048};
 }
 

@@ -3,6 +3,10 @@
 
 Usage: compare_bench.py BASELINE CANDIDATE [--tolerance FRAC]
 
+Exit codes: 0 = within bands, 1 = regression/structure failure, 2 = usage
+error (missing or malformed input file) -- so CI can tell "the candidate
+got slower" apart from "the gate never ran".
+
 Walks both JSON documents in lockstep and fails (exit 1) when:
   * the structure diverges (missing/extra keys, list-length mismatch,
     schema string change);
@@ -94,10 +98,22 @@ def main():
                     help="max relative runtime regression (default 0.25)")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.candidate) as f:
-        cand = json.load(f)
+    # A gate that cannot read its inputs has not run: exit 2, one line,
+    # distinguishable from a real regression (exit 1).
+    docs = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path) as f:
+                docs.append(json.load(f))
+        except OSError as e:
+            print(f"compare_bench: cannot read {path}: {e.strerror or e}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as e:
+            print(f"compare_bench: {path} is not valid JSON: {e}",
+                  file=sys.stderr)
+            return 2
+    base, cand = docs
 
     failures, notes = compare(base, cand, args.tolerance)
     for n in notes:

@@ -5,12 +5,18 @@
 // shape: float is faster wherever compute matters, with relative objective
 // error growing with problem size but staying small (the iteration path is
 // usually identical on well-conditioned instances).
+//
+// `--diff` additionally records both runs' pivot decisions and aligns them
+// (OBSERVABILITY.md, "Recorder"), turning "objectives differ by X" into
+// "runs diverge at iteration N on pivot (r,c)" per size.
 #include <cmath>
 
 #include "bench/common.hpp"
+#include "record/record.hpp"
 
 int main(int argc, char** argv) {
   using namespace gs;
+  const bool diff_on = bench::has_flag(argc, argv, "--diff");
   bench::print_header(
       "Fig.3: single vs double precision (device revised simplex)",
       "float <= double modeled time; relative objective error < 1e-3, "
@@ -21,8 +27,17 @@ int main(int argc, char** argv) {
   for (const std::size_t size : bench::dense_sizes(argc, argv)) {
     const auto problem =
         lp::random_dense_lp({.rows = size, .cols = size, .seed = 2});
-    const auto rd = bench::solve_device(problem, vgpu::gtx280_model());
-    const auto rf = bench::solve_device_float(problem, vgpu::gtx280_model());
+    record::Recorder rec_d, rec_f;
+    simplex::SolverOptions opt_d, opt_f;
+    if (diff_on) {
+      rec_d.set_seed(2);
+      rec_f.set_seed(2);
+      opt_d.recorder = &rec_d;
+      opt_f.recorder = &rec_f;
+    }
+    const auto rd = bench::solve_device(problem, vgpu::gtx280_model(), opt_d);
+    const auto rf =
+        bench::solve_device_float(problem, vgpu::gtx280_model(), opt_f);
     if (!rd.optimal() || !rf.optimal()) {
       std::cerr << "non-optimal solve at m=" << size << "\n";
       return 1;
@@ -37,6 +52,12 @@ int main(int argc, char** argv) {
         .add(rd.stats.iterations)
         .add(rf.stats.iterations)
         .add(rel_err);
+    if (diff_on) {
+      std::cout << "[diff] m=n=" << size << ": "
+                << record::diff(rec_d.recording(), rec_f.recording())
+                       .describe()
+                << "\n";
+    }
   }
   table.print(std::cout);
   bench::write_csv("fig3_precision", table);

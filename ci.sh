@@ -38,9 +38,63 @@ echo "==> bench-json regression gate"
 if command -v python3 > /dev/null 2>&1; then
   (cd build && ./bench/bench_json BENCH_solver.json)
   python3 bench/compare_bench.py BENCH_solver.json build/BENCH_solver.json
+
+  # Exit-code contract of the gate itself: a missing input is a usage
+  # error (2), a doctored runtime is a regression (1). Both must stay
+  # distinguishable from "within bands" (0).
+  echo "==> compare_bench exit-code contract"
+  rc=0
+  python3 bench/compare_bench.py BENCH_solver.json /nonexistent.json \
+    2> /dev/null || rc=$?
+  [ "${rc}" -eq 2 ] || {
+    echo "expected exit 2 on missing input, got ${rc}"; exit 1; }
+  rc=0
+  python3 - <<'EOF' || rc=$?
+import json, subprocess, sys
+doc = json.load(open("BENCH_solver.json"))
+def inflate(node):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if isinstance(v, (int, float)) and (
+                    k.endswith("_ms") or k.endswith("_seconds")):
+                node[k] = v * 10  # way past the 25% band
+            else:
+                inflate(v)
+    elif isinstance(node, list):
+        for v in node:
+            inflate(v)
+inflate(doc)
+json.dump(doc, open("build/bench_doctored.json", "w"))
+sys.exit(subprocess.run(
+    [sys.executable, "bench/compare_bench.py", "BENCH_solver.json",
+     "build/bench_doctored.json"],
+    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL).returncode)
+EOF
+  [ "${rc}" -eq 1 ] || {
+    echo "expected exit 1 on doctored runtimes, got ${rc}"; exit 1; }
 else
   echo "==> python3 not installed; skipping bench-json gate"
 fi
+
+# Recorder gates (OBSERVABILITY.md "Recorder"): the byte format carries no
+# timestamps, so record -> record must be byte-identical; record -> replay
+# must verify every decision; and the crafted float-vs-double witness must
+# diverge at pivot 0 with both candidates reported.
+echo "==> recorder round-trip + divergence gates"
+(
+  cd build
+  ./examples/lp_cli --gen dense:32:11 --record=ci_a.gsrec > /dev/null
+  ./examples/lp_cli --gen dense:32:11 --record=ci_b.gsrec > /dev/null
+  cmp ci_a.gsrec ci_b.gsrec
+  ./examples/lp_cli --gen dense:32:11 --replay=ci_a.gsrec \
+    | grep 'replay: verified'
+  ./examples/lp_cli ../data/precision_tie.lp --engine device \
+    --record=ci_tie_d.gsrec > /dev/null
+  ./examples/lp_cli ../data/precision_tie.lp --engine device-float \
+    --record=ci_tie_f.gsrec > /dev/null
+  ./examples/lp_cli --diff ci_tie_d.gsrec ci_tie_f.gsrec \
+    | tee /dev/stderr | grep -q 'diverge at pivot 0'
+)
 
 run_config build-asan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=address,undefined
 run_config build-tsan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=thread

@@ -31,9 +31,41 @@
 //                                                        write it to the
 //                                                        file). See
 //                                                        OBSERVABILITY.md
+//     --record[=file.gsrec]                              log every pivot
+//                                                        decision to a
+//                                                        gs-record-v1 file
+//                                                        (default
+//                                                        lp_cli.gsrec); see
+//                                                        OBSERVABILITY.md,
+//                                                        "Recorder"
+//     --replay=file.gsrec                                re-run the solve
+//                                                        pinned to the
+//                                                        recorded decision
+//                                                        sequence; the
+//                                                        engine is taken
+//                                                        from the recording
+//                                                        header unless
+//                                                        --engine overrides
+//                                                        it. Any deviation
+//                                                        prints the first
+//                                                        mismatch and exits
+//                                                        1.
+//     --diff A.gsrec B.gsrec                             offline: align two
+//                                                        recordings and
+//                                                        report the first
+//                                                        divergent pivot
+//                                                        with both
+//                                                        candidates
+//     --post-mortem=file.gsrec                           arm a crash dump:
+//                                                        on a non-optimal
+//                                                        exit or any health
+//                                                        warning, write the
+//                                                        last 64 decisions
+//                                                        + basis snapshot
+//                                                        to the file
 //
 // Exit code: 0 optimal, 2 infeasible, 3 unbounded, 4 iteration limit,
-// 1 usage/parse error.
+// 1 usage/parse error (and replay mismatch / non-comparable diff).
 #include <cmath>
 #include <iostream>
 #include <map>
@@ -47,6 +79,7 @@
 #include "lp/scaling.hpp"
 #include "lp/standard_form.hpp"
 #include "metrics/metrics.hpp"
+#include "record/record.hpp"
 #include "simplex/solver.hpp"
 #include "trace/chrome_sink.hpp"
 #include "vgpu/check/check.hpp"
@@ -62,13 +95,17 @@ int usage() {
          "              [--basis B] [--device D] [--max-iters N]\n"
          "              [--presolve] [--scale pow10|geometric] [--duals]\n"
          "              [--stats] [--trace out.json] [--check]\n"
-         "              [--metrics[=out.json]]\n"
-         "       lp_cli --gen dense:<size>[:seed] [options]\n";
+         "              [--metrics[=out.json]] [--record[=out.gsrec]]\n"
+         "              [--replay=in.gsrec] [--post-mortem=out.gsrec]\n"
+         "       lp_cli --gen dense:<size>[:seed] [options]\n"
+         "       lp_cli --diff a.gsrec b.gsrec\n";
   return 1;
 }
 
-/// Parse "dense:<size>[:seed]" into a generated instance.
-std::optional<lp::LpProblem> parse_gen(const std::string& spec) {
+/// Parse "dense:<size>[:seed]" into a generated instance. The seed lands in
+/// `seed_out` so `--record` can stamp it into the recording header.
+std::optional<lp::LpProblem> parse_gen(const std::string& spec,
+                                       std::uint64_t& seed_out) {
   if (!spec.starts_with("dense:")) return std::nullopt;
   const std::string rest = spec.substr(6);
   const std::size_t colon = rest.find(':');
@@ -79,10 +116,23 @@ std::optional<lp::LpProblem> parse_gen(const std::string& spec) {
       gen.seed = std::stoul(rest.substr(colon + 1));
     }
     if (gen.rows == 0) return std::nullopt;
+    seed_out = gen.seed;
     return lp::random_dense_lp(gen);
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+/// Map a recording header's engine string back to an Engine (for --replay
+/// without an explicit --engine).
+std::optional<simplex::Engine> engine_from_header(const std::string& name) {
+  if (name == "host-revised") return simplex::Engine::kHostRevised;
+  if (name == "tableau") return simplex::Engine::kTableau;
+  if (name == "device-revised<double>") return simplex::Engine::kDeviceRevised;
+  if (name == "device-revised<float>") {
+    return simplex::Engine::kDeviceRevisedFloat;
+  }
+  return std::nullopt;
 }
 
 int status_code(simplex::SolveStatus s) {
@@ -106,6 +156,9 @@ int main(int argc, char** argv) {
   bool ranging_on = false, check_on = false;
   bool metrics_on = false;
   std::string metrics_path;
+  bool record_on = false;
+  std::string record_path = "lp_cli.gsrec";
+  std::string replay_path, post_mortem_path, diff_a, diff_b;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--presolve") {
@@ -126,6 +179,24 @@ int main(int argc, char** argv) {
       metrics_on = true;
       metrics_path = arg.substr(std::string("--metrics=").size());
       if (metrics_path.empty()) return usage();
+    } else if (arg == "--record") {
+      // Valueless form (default output file); same trap as --metrics.
+      record_on = true;
+    } else if (arg.starts_with("--record=")) {
+      record_on = true;
+      record_path = arg.substr(std::string("--record=").size());
+      if (record_path.empty()) return usage();
+    } else if (arg.starts_with("--replay=")) {
+      replay_path = arg.substr(std::string("--replay=").size());
+      if (replay_path.empty()) return usage();
+    } else if (arg.starts_with("--post-mortem=")) {
+      post_mortem_path = arg.substr(std::string("--post-mortem=").size());
+      if (post_mortem_path.empty()) return usage();
+    } else if (arg == "--diff") {
+      // Offline mode: takes two recording operands, no model.
+      if (i + 2 >= argc) return usage();
+      diff_a = argv[++i];
+      diff_b = argv[++i];
     } else if (arg.starts_with("--")) {
       if (i + 1 >= argc) return usage();
       flags[arg.substr(2)] = argv[++i];
@@ -135,14 +206,33 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  // ---- Offline recording diff: no model load, no solve. ----
+  if (!diff_a.empty()) {
+    try {
+      const record::Recording a = record::Recording::read_file(diff_a);
+      const record::Recording b = record::Recording::read_file(diff_b);
+      std::cout << "diff " << diff_a << " (" << a.header.engine << ", "
+                << a.header.real_bits << "-bit, " << a.header.status
+                << ") vs " << diff_b << " (" << b.header.engine << ", "
+                << b.header.real_bits << "-bit, " << b.header.status << ")\n";
+      const record::DiffResult dr = record::diff(a, b);
+      std::cout << dr.describe() << "\n";
+      return dr.comparable ? 0 : 1;
+    } catch (const gs::Error& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   const bool generated = flags.contains("gen");
   if (path.empty() && !generated) return usage();
 
   try {
     // ---- Load (from file, or generate a dense random instance). ----
     lp::LpProblem problem;
+    std::uint64_t gen_seed = 0;
     if (generated) {
-      auto gen = parse_gen(flags["gen"]);
+      auto gen = parse_gen(flags["gen"], gen_seed);
       if (!gen.has_value()) return usage();
       problem = std::move(*gen);
       std::cout << "generated " << flags["gen"] << ": "
@@ -189,6 +279,25 @@ int main(int argc, char** argv) {
     if (check_on) options.checker = &checker;
     metrics::MetricsRegistry registry;
     if (metrics_on) options.metrics = &registry;
+    record::Recorder recorder;
+    const bool replay_on = !replay_path.empty();
+    if (replay_on) {
+      recorder =
+          record::Recorder::replaying(record::Recording::read_file(replay_path));
+      std::cout << "replay: loaded " << replay_path << " ("
+                << recorder.reference().header.engine << ", "
+                << recorder.reference().records.size() << " decisions)\n";
+    }
+    if (record_on || replay_on || !post_mortem_path.empty()) {
+      options.recorder = &recorder;
+      if (generated) recorder.set_seed(gen_seed);
+    }
+    if (!post_mortem_path.empty()) {
+      recorder.set_post_mortem(post_mortem_path, 64);
+      // Health warnings feed the dump trigger; attach the registry even
+      // when --metrics was not requested (nothing is printed for it).
+      if (options.metrics == nullptr) options.metrics = &registry;
+    }
     if (auto it = flags.find("max-iters"); it != flags.end()) {
       options.max_iterations = static_cast<std::size_t>(std::stoul(it->second));
     }
@@ -221,6 +330,17 @@ int main(int argc, char** argv) {
                : e == "sparse"       ? simplex::Engine::kSparseRevised
                : e == "device-float" ? simplex::Engine::kDeviceRevisedFloat
                                      : simplex::Engine::kDeviceRevised;
+    } else if (replay_on) {
+      // No explicit engine: rerun on the engine the recording came from.
+      const auto mapped =
+          engine_from_header(recorder.reference().header.engine);
+      if (!mapped.has_value()) {
+        std::cerr << "error: cannot map recorded engine '"
+                  << recorder.reference().header.engine
+                  << "' (pass --engine explicitly)\n";
+        return 1;
+      }
+      engine = *mapped;
     }
 
     // ---- Scaling (solve_standard path) or plain solve. ----
@@ -334,6 +454,32 @@ int main(int argc, char** argv) {
                   << " counters, " << snap.histograms.size()
                   << " histograms to " << metrics_path << "\n";
       }
+    }
+    if (record_on && !replay_on) {
+      recorder.recording().write_file(record_path);
+      std::size_t pivots = 0;
+      for (const auto& r : recorder.recording().records) {
+        if (r.kind == record::RecordKind::kPivot) ++pivots;
+      }
+      std::cout << "record: wrote " << recorder.recording().records.size()
+                << " decisions (" << pivots << " pivots) to " << record_path
+                << "\n";
+    }
+    if (!post_mortem_path.empty()) {
+      if (recorder.dumped_post_mortem()) {
+        std::cout << "post-mortem: dumped last-decision window to "
+                  << post_mortem_path << "\n";
+      } else {
+        std::cout << "post-mortem: clean exit, nothing dumped\n";
+      }
+    }
+    if (replay_on) {
+      if (recorder.mismatched()) {
+        std::cerr << "error: " << recorder.mismatch().describe() << "\n";
+        return 1;
+      }
+      std::cout << "replay: verified " << recorder.verified()
+                << " decisions, no mismatches\n";
     }
     return status_code(result.status);
   } catch (const gs::Error& e) {

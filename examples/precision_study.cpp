@@ -4,6 +4,8 @@
 // how scaling rescues a badly-conditioned instance in float.
 #include <cmath>
 #include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "lp/generators.hpp"
 #include "lp/scaling.hpp"
@@ -11,12 +13,20 @@
 #include "simplex/device_revised.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  // `--tiny` shrinks the sweep for ctest tier-1 smoke coverage.
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--tiny") tiny = true;
+  }
+  const std::vector<std::size_t> sizes =
+      tiny ? std::vector<std::size_t>{16, 32}
+           : std::vector<std::size_t>{64, 128, 256};
 
   Table table({"m=n", "double [ms]", "float [ms]", "rel error",
                "same pivot path"});
-  for (const std::size_t size : {64, 128, 256}) {
+  for (const std::size_t size : sizes) {
     const auto problem = lp::random_dense_lp(
         {.rows = size, .cols = size, .seed = 21});
     vgpu::Device dev_d(vgpu::gtx280_model());

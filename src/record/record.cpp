@@ -1,0 +1,447 @@
+#include "record/record.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gs::record {
+namespace {
+
+// --- little-endian field-by-field serialization ---------------------------
+// Fixed-width fields written byte-by-byte: no struct padding, no host
+// endianness in the file, and no timestamps anywhere — identical runs
+// produce byte-identical files.
+
+constexpr char kMagic[8] = {'G', 'S', 'R', 'E', 'C', '0', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::ostream& os, const void* p, std::size_t len) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(len));
+}
+
+void put_u8(std::ostream& os, std::uint8_t v) { put_bytes(os, &v, 1); }
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  put_bytes(os, b, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  put_bytes(os, b, 8);
+}
+
+void put_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(os, bits);
+}
+
+void put_str(std::ostream& os, const std::string& s) {
+  put_u32(os, static_cast<std::uint32_t>(s.size()));
+  put_bytes(os, s.data(), s.size());
+}
+
+void get_bytes(std::istream& is, void* p, std::size_t len) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(len));
+  GS_CHECK_MSG(is.good(), "gs-record-v1: truncated stream");
+}
+
+std::uint8_t get_u8(std::istream& is) {
+  std::uint8_t v;
+  get_bytes(is, &v, 1);
+  return v;
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  unsigned char b[4];
+  get_bytes(is, b, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  unsigned char b[8];
+  get_bytes(is, b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+  return v;
+}
+
+double get_f64(std::istream& is) {
+  const std::uint64_t bits = get_u64(is);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string get_str(std::istream& is) {
+  const std::uint32_t len = get_u32(is);
+  GS_CHECK_MSG(len <= (1u << 20), "gs-record-v1: implausible string length");
+  std::string s(len, '\0');
+  if (len > 0) get_bytes(is, s.data(), len);
+  return s;
+}
+
+void put_record(std::ostream& os, const DecisionRecord& r) {
+  put_u8(os, static_cast<std::uint8_t>(r.kind));
+  put_u8(os, r.phase);
+  put_u8(os, r.bland);
+  put_u32(os, r.lane);
+  put_u64(os, r.iteration);
+  put_u32(os, r.entering);
+  put_u32(os, r.leaving_row);
+  put_u32(os, r.leaving_col);
+  put_u32(os, r.ratio_ties);
+  put_f64(os, r.reduced_cost);
+  put_f64(os, r.pivot_value);
+  put_f64(os, r.theta);
+}
+
+DecisionRecord get_record(std::istream& is) {
+  DecisionRecord r;
+  const std::uint8_t kind = get_u8(is);
+  GS_CHECK_MSG(kind <= 2, "gs-record-v1: bad record kind");
+  r.kind = static_cast<RecordKind>(kind);
+  r.phase = get_u8(is);
+  r.bland = get_u8(is);
+  r.lane = get_u32(is);
+  r.iteration = get_u64(is);
+  r.entering = get_u32(is);
+  r.leaving_row = get_u32(is);
+  r.leaving_col = get_u32(is);
+  r.ratio_ties = get_u32(is);
+  r.reduced_cost = get_f64(is);
+  r.pivot_value = get_f64(is);
+  r.theta = get_f64(is);
+  return r;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe(const DecisionRecord& r) {
+  std::ostringstream os;
+  switch (r.kind) {
+    case RecordKind::kPivot:
+      os << "pivot it=" << r.iteration;
+      if (r.lane != 0) os << " lane=" << r.lane;
+      os << " phase=" << int{r.phase} << " enter=" << r.entering
+         << " leave=(row " << r.leaving_row << ", col " << r.leaving_col
+         << ") d=" << fmt(r.reduced_cost) << " alpha=" << fmt(r.pivot_value)
+         << " theta=" << fmt(r.theta) << " ties=" << r.ratio_ties;
+      if (r.bland != 0) os << " [bland]";
+      break;
+    case RecordKind::kRefactor:
+      os << "refactor it=" << r.iteration;
+      if (r.lane != 0) os << " lane=" << r.lane;
+      break;
+    case RecordKind::kPhase:
+      os << "phase-" << int{r.phase} << " begins";
+      if (r.lane != 0) os << " lane=" << r.lane;
+      break;
+  }
+  return os.str();
+}
+
+// --- Recording IO ---------------------------------------------------------
+
+void Recording::write(std::ostream& os) const {
+  put_bytes(os, kMagic, sizeof(kMagic));
+  put_u32(os, kVersion);
+  put_u32(os, header.real_bits);
+  put_u64(os, header.m);
+  put_u64(os, header.n);
+  put_u64(os, header.seed);
+  put_u64(os, header.digest);
+  put_str(os, header.engine);
+  put_str(os, header.status);
+  put_u32(os, header.post_mortem ? 1u : 0u);
+  put_u64(os, header.first_index);
+  put_u64(os, header.total_records);
+  put_u64(os, records.size());
+  for (const DecisionRecord& r : records) put_record(os, r);
+  put_u64(os, basis.size());
+  for (std::uint32_t v : basis) put_u32(os, v);
+  GS_CHECK_MSG(os.good(), "gs-record-v1: write failed");
+}
+
+void Recording::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  GS_CHECK_MSG(os.is_open(), "cannot open recording for write: " + path);
+  write(os);
+}
+
+Recording Recording::read(std::istream& is) {
+  char magic[8];
+  get_bytes(is, magic, sizeof(magic));
+  GS_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "not a gs-record-v1 file (bad magic)");
+  const std::uint32_t version = get_u32(is);
+  GS_CHECK_MSG(version == kVersion, "unsupported gs-record version");
+  Recording rec;
+  rec.header.real_bits = get_u32(is);
+  rec.header.m = get_u64(is);
+  rec.header.n = get_u64(is);
+  rec.header.seed = get_u64(is);
+  rec.header.digest = get_u64(is);
+  rec.header.engine = get_str(is);
+  rec.header.status = get_str(is);
+  rec.header.post_mortem = (get_u32(is) & 1u) != 0;
+  rec.header.first_index = get_u64(is);
+  rec.header.total_records = get_u64(is);
+  const std::uint64_t count = get_u64(is);
+  GS_CHECK_MSG(count <= (1ull << 32), "gs-record-v1: implausible record count");
+  rec.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) rec.records.push_back(get_record(is));
+  const std::uint64_t basis_len = get_u64(is);
+  GS_CHECK_MSG(basis_len <= (1ull << 32), "gs-record-v1: implausible basis length");
+  rec.basis.reserve(static_cast<std::size_t>(basis_len));
+  for (std::uint64_t i = 0; i < basis_len; ++i) rec.basis.push_back(get_u32(is));
+  return rec;
+}
+
+Recording Recording::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GS_CHECK_MSG(is.is_open(), "cannot open recording: " + path);
+  return read(is);
+}
+
+// --- ReplayMismatch -------------------------------------------------------
+
+std::string ReplayMismatch::describe() const {
+  std::ostringstream os;
+  switch (why) {
+    case Why::kHeader:
+      os << "replay mismatch: header disagrees before any decision (" << note
+         << ")";
+      break;
+    case Why::kValueMismatch:
+      os << "replay mismatch at record " << index << " (iteration "
+         << expected.iteration << "):\n  expected: " << record::describe(expected)
+         << "\n  actual:   " << record::describe(actual);
+      break;
+    case Why::kExtraRecord:
+      os << "replay mismatch at record " << index
+         << ": live run produced an extra decision past the reference end:"
+         << "\n  actual:   " << record::describe(actual);
+      break;
+    case Why::kMissingRecord:
+      os << "replay mismatch at record " << index
+         << ": live run ended before the reference did:\n  expected: "
+         << record::describe(expected);
+      break;
+  }
+  return os.str();
+}
+
+// --- Recorder -------------------------------------------------------------
+
+Recorder Recorder::replaying(Recording reference) {
+  Recorder r;
+  r.replay_ = true;
+  r.ref_ = std::move(reference);
+  return r;
+}
+
+void Recorder::set_seed(std::uint64_t seed) { rec_.header.seed = seed; }
+
+void Recorder::set_post_mortem(std::string path, std::size_t window) {
+  post_mortem_path_ = std::move(path);
+  post_mortem_window_ = window;
+}
+
+void Recorder::begin_solve(std::string_view engine, std::uint32_t real_bits,
+                           std::size_t m, std::size_t n_aug,
+                           std::uint64_t digest) {
+  rec_.header.engine = std::string(engine);
+  rec_.header.real_bits = real_bits;
+  rec_.header.m = m;
+  rec_.header.n = n_aug;
+  rec_.header.digest = digest;
+  rec_.records.clear();
+  rec_.basis.clear();
+  rec_.header.status.clear();
+  rec_.header.first_index = 0;
+  rec_.header.total_records = 0;
+  verified_ = 0;
+  mismatch_.reset();
+  dumped_ = false;
+  if (replay_) {
+    std::string note;
+    if (ref_.header.engine != engine) {
+      note = "engine: recorded '" + ref_.header.engine + "' vs live '" +
+             std::string(engine) + "'";
+    } else if (ref_.header.real_bits != real_bits) {
+      note = "real width: recorded " + std::to_string(ref_.header.real_bits) +
+             "-bit vs live " + std::to_string(real_bits) + "-bit";
+    } else if (ref_.header.m != m || ref_.header.n != n_aug) {
+      note = "problem shape differs";
+    } else if (ref_.header.digest != digest) {
+      note = "problem digest differs (different instance)";
+    }
+    if (!note.empty()) {
+      mismatch_ = ReplayMismatch{ReplayMismatch::Why::kHeader, 0, {}, {},
+                                 std::move(note)};
+    }
+  }
+}
+
+void Recorder::push(const DecisionRecord& r) {
+  if (!replay_) {
+    rec_.records.push_back(r);
+    return;
+  }
+  if (mismatch_.has_value()) return;  // report only the first deviation
+  const std::uint64_t idx = verified_;
+  if (idx >= ref_.records.size()) {
+    mismatch_ = ReplayMismatch{ReplayMismatch::Why::kExtraRecord, idx, {}, r,
+                               "reference has " +
+                                   std::to_string(ref_.records.size()) +
+                                   " records"};
+    return;
+  }
+  const DecisionRecord& expected = ref_.records[idx];
+  if (!(expected == r)) {
+    mismatch_ =
+        ReplayMismatch{ReplayMismatch::Why::kValueMismatch, idx, expected, r, ""};
+    return;
+  }
+  ++verified_;
+}
+
+void Recorder::begin_phase(std::uint8_t phase, std::uint32_t lane) {
+  DecisionRecord r;
+  r.kind = RecordKind::kPhase;
+  r.phase = phase;
+  r.lane = lane;
+  push(r);
+}
+
+void Recorder::record_pivot(const DecisionRecord& r) { push(r); }
+
+void Recorder::record_refactor(std::uint64_t iteration, std::uint32_t lane) {
+  DecisionRecord r;
+  r.kind = RecordKind::kRefactor;
+  r.iteration = iteration;
+  r.lane = lane;
+  push(r);
+}
+
+void Recorder::end_solve(std::string_view status, bool optimal,
+                         std::uint64_t health_warnings,
+                         std::span<const std::uint32_t> basis) {
+  if (replay_) {
+    if (!mismatch_.has_value() && verified_ < ref_.records.size()) {
+      mismatch_ = ReplayMismatch{ReplayMismatch::Why::kMissingRecord, verified_,
+                                 ref_.records[verified_],
+                                 {},
+                                 "live run recorded " +
+                                     std::to_string(verified_) + " of " +
+                                     std::to_string(ref_.records.size())};
+    }
+    return;
+  }
+  rec_.header.status = std::string(status);
+  rec_.header.total_records = rec_.records.size();
+  rec_.basis.assign(basis.begin(), basis.end());
+  if (!post_mortem_path_.empty() && (!optimal || health_warnings > 0)) {
+    Recording window;
+    window.header = rec_.header;
+    window.header.post_mortem = true;
+    const std::size_t total = rec_.records.size();
+    const std::size_t keep = std::min(post_mortem_window_, total);
+    window.header.first_index = total - keep;
+    window.records.assign(rec_.records.end() - static_cast<std::ptrdiff_t>(keep),
+                          rec_.records.end());
+    window.basis = rec_.basis;
+    window.write_file(post_mortem_path_);
+    dumped_ = true;
+  }
+}
+
+// --- diff -----------------------------------------------------------------
+
+namespace {
+bool same_pivot(const DecisionRecord& a, const DecisionRecord& b) {
+  return a.lane == b.lane && a.entering == b.entering &&
+         a.leaving_row == b.leaving_row && a.leaving_col == b.leaving_col;
+}
+}  // namespace
+
+DiffResult diff(const Recording& a, const Recording& b) {
+  DiffResult out;
+  if (a.header.digest != b.header.digest || a.header.m != b.header.m ||
+      a.header.n != b.header.n) {
+    out.comparable = false;
+    out.note = "recordings describe different problems";
+    return out;
+  }
+  std::vector<const DecisionRecord*> pa, pb;
+  for (const DecisionRecord& r : a.records)
+    if (r.kind == RecordKind::kPivot) pa.push_back(&r);
+  for (const DecisionRecord& r : b.records)
+    if (r.kind == RecordKind::kPivot) pb.push_back(&r);
+  const std::size_t n = std::min(pa.size(), pb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!same_pivot(*pa[i], *pb[i])) {
+      out.diverged = true;
+      out.index = i;
+      out.a = *pa[i];
+      out.b = *pb[i];
+      out.common = i;
+      return out;
+    }
+    out.max_reduced_cost_delta =
+        std::max(out.max_reduced_cost_delta,
+                 std::abs(pa[i]->reduced_cost - pb[i]->reduced_cost));
+    out.max_theta_delta =
+        std::max(out.max_theta_delta, std::abs(pa[i]->theta - pb[i]->theta));
+  }
+  out.common = n;
+  if (pa.size() != pb.size()) {
+    out.diverged = true;
+    out.index = n;
+    if (n < pa.size()) out.a = *pa[n];
+    if (n < pb.size()) out.b = *pb[n];
+    out.note = "pivot counts differ (" + std::to_string(pa.size()) + " vs " +
+               std::to_string(pb.size()) + ")";
+  }
+  return out;
+}
+
+std::string DiffResult::describe() const {
+  std::ostringstream os;
+  if (!comparable) {
+    os << "recordings are not comparable: " << note;
+    return os.str();
+  }
+  if (!diverged) {
+    os << "recordings agree on all " << common << " pivots"
+       << " (max |d_q delta| = " << fmt(max_reduced_cost_delta)
+       << ", max |theta delta| = " << fmt(max_theta_delta) << ")";
+    return os.str();
+  }
+  os << "runs diverge at pivot " << index << " after " << common
+     << " identical pivots";
+  if (!note.empty()) os << " (" << note << ")";
+  os << "\n  A: " << (a ? record::describe(*a) : std::string("<ended>"))
+     << "\n  B: " << (b ? record::describe(*b) : std::string("<ended>"));
+  return os.str();
+}
+
+}  // namespace gs::record

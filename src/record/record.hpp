@@ -1,0 +1,206 @@
+// Decision-log flight recorder (OBSERVABILITY.md, "Recorder").
+//
+// A Recording is a compact binary log (schema `gs-record-v1`) of every
+// decision a simplex solve makes: which column entered, which row/column
+// left, the pivot value, how many ratio-test rows tied at the winning
+// ratio, whether Bland's rule was active, refactorization events and phase
+// transitions — plus a header identifying the engine, the real-number
+// width, the problem shape/digest and the RNG seed that generated it.
+//
+// Engines stream into a Recorder borrowed through
+// `SolverOptions::recorder` (null = off; the disabled path is a single
+// branch per decision site, so results and DeviceStats are bit-identical
+// with and without a recorder — the same guarantee trace/checker/metrics
+// give). On top of the log sit three tools:
+//
+//  * replay  — `Recorder::replaying(reference)` re-verifies a new solve
+//              against a recorded decision sequence and reports the first
+//              mismatch with full context (both records, index, iteration).
+//  * diff    — `record::diff(a, b)` aligns two recordings (float vs
+//              double, host vs device) and reports the first divergent
+//              pivot with both candidates and their reduced costs/ratios.
+//  * post-mortem — `Recorder::set_post_mortem(path, window)` auto-dumps
+//              the last-K-decision window plus a basis snapshot to a
+//              replayable artifact when the solve ends non-optimal or with
+//              health warnings.
+//
+// The byte format contains no timestamps, so two recordings of identical
+// runs are byte-identical (ci.sh exploits this with `cmp`).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gs::record {
+
+/// What a DecisionRecord describes.
+enum class RecordKind : std::uint8_t {
+  kPivot = 0,     ///< a basis change (entering/leaving pair)
+  kRefactor = 1,  ///< basis refactorization / reinversion event
+  kPhase = 2,     ///< phase transition (phase field = new phase)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RecordKind k) noexcept {
+  switch (k) {
+    case RecordKind::kPivot: return "pivot";
+    case RecordKind::kRefactor: return "refactor";
+    case RecordKind::kPhase: return "phase";
+  }
+  return "?";
+}
+
+/// One logged decision. POD; serialized field-by-field (no padding bytes
+/// reach the file). For kRefactor/kPhase only `kind`, `phase`, `lane` and
+/// `iteration` are meaningful; the rest are zero.
+struct DecisionRecord {
+  RecordKind kind = RecordKind::kPivot;
+  std::uint8_t phase = 0;  ///< 1 or 2
+  std::uint8_t bland = 0;  ///< 1 if Bland's rule picked the entering column
+  std::uint32_t lane = 0;  ///< batch-engine lane; 0 for scalar engines
+
+  std::uint64_t iteration = 0;  ///< pivot ordinal (per-lane for batch)
+
+  std::uint32_t entering = 0;     ///< entering column q
+  std::uint32_t leaving_row = 0;  ///< leaving row p
+  std::uint32_t leaving_col = 0;  ///< basic[p] before the pivot
+  std::uint32_t ratio_ties = 0;   ///< rows tied at the winning ratio (>= 1)
+
+  double reduced_cost = 0.0;  ///< d_q at selection time
+  double pivot_value = 0.0;   ///< alpha_p (the pivot element)
+  double theta = 0.0;         ///< ratio-test step length
+
+  friend bool operator==(const DecisionRecord&, const DecisionRecord&) = default;
+};
+
+/// One line describing a record, for mismatch/diff reports.
+[[nodiscard]] std::string describe(const DecisionRecord& r);
+
+/// File header: identifies the run a log belongs to.
+struct RecordingHeader {
+  std::uint32_t real_bits = 64;  ///< sizeof(Real) * 8 of the engine
+  std::uint64_t m = 0;           ///< constraint rows
+  std::uint64_t n = 0;           ///< augmented columns (n_aug)
+  std::uint64_t seed = 0;        ///< RNG seed of the generated instance (0 if n/a)
+  std::uint64_t digest = 0;      ///< problem digest (decision_digest())
+  std::string engine;            ///< e.g. "device-revised<float>"
+  std::string status;            ///< final SolveStatus string ("" if truncated)
+  bool post_mortem = false;      ///< true for a post-mortem window dump
+  std::uint64_t first_index = 0; ///< global index of records[0] (window dumps)
+  std::uint64_t total_records = 0;  ///< decisions in the full run
+
+  friend bool operator==(const RecordingHeader&, const RecordingHeader&) = default;
+};
+
+/// A decision log: header + records + final basis snapshot.
+struct Recording {
+  RecordingHeader header;
+  std::vector<DecisionRecord> records;
+  /// Basis snapshot at end of solve (basic[i] per row); empty if the
+  /// engine does not expose one.
+  std::vector<std::uint32_t> basis;
+
+  void write(std::ostream& os) const;
+  void write_file(const std::string& path) const;
+  [[nodiscard]] static Recording read(std::istream& is);
+  [[nodiscard]] static Recording read_file(const std::string& path);
+};
+
+/// First point where a replay deviated from its reference recording.
+struct ReplayMismatch {
+  enum class Why : std::uint8_t {
+    kHeader,         ///< engine/shape/digest mismatch before any decision
+    kValueMismatch,  ///< decision at `index` differs from the reference
+    kExtraRecord,    ///< live run produced more decisions than the reference
+    kMissingRecord,  ///< live run ended before the reference did
+  };
+  Why why = Why::kValueMismatch;
+  std::uint64_t index = 0;  ///< position in the reference record stream
+  DecisionRecord expected;  ///< reference record (if any)
+  DecisionRecord actual;    ///< live record (if any)
+  std::string note;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Collects decisions from one solve; or, in replay mode, verifies them
+/// against a reference recording. Not thread-safe (one solve at a time).
+class Recorder {
+ public:
+  /// Record mode: accumulate decisions into recording().
+  Recorder() = default;
+
+  /// Replay-verify mode: each record_* call is checked against `reference`;
+  /// the first deviation is kept (mismatch()) and later calls are ignored.
+  [[nodiscard]] static Recorder replaying(Recording reference);
+
+  /// Stamp the generator seed into the header (record mode).
+  void set_seed(std::uint64_t seed);
+
+  /// Arm post-mortem dumps: if end_solve() sees a non-optimal status or
+  /// health warnings, write the last `window` decisions + basis snapshot
+  /// to `path` as a replayable artifact (header.post_mortem = true).
+  void set_post_mortem(std::string path, std::size_t window = 64);
+
+  // --- engine-facing hooks -------------------------------------------------
+  void begin_solve(std::string_view engine, std::uint32_t real_bits,
+                   std::size_t m, std::size_t n_aug, std::uint64_t digest);
+  void begin_phase(std::uint8_t phase, std::uint32_t lane = 0);
+  void record_pivot(const DecisionRecord& r);
+  void record_refactor(std::uint64_t iteration, std::uint32_t lane = 0);
+  void end_solve(std::string_view status, bool optimal,
+                 std::uint64_t health_warnings,
+                 std::span<const std::uint32_t> basis);
+
+  // --- inspection ----------------------------------------------------------
+  [[nodiscard]] bool replay_mode() const noexcept { return replay_; }
+  [[nodiscard]] const Recording& recording() const noexcept { return rec_; }
+  [[nodiscard]] const Recording& reference() const noexcept { return ref_; }
+  /// Replay mode: decisions verified so far.
+  [[nodiscard]] std::uint64_t verified() const noexcept { return verified_; }
+  [[nodiscard]] bool mismatched() const noexcept { return mismatch_.has_value(); }
+  [[nodiscard]] const ReplayMismatch& mismatch() const { return *mismatch_; }
+  /// True once end_solve() wrote a post-mortem artifact.
+  [[nodiscard]] bool dumped_post_mortem() const noexcept { return dumped_; }
+
+ private:
+  void push(const DecisionRecord& r);
+
+  bool replay_ = false;
+  Recording rec_;   // record mode: the log under construction
+  Recording ref_;   // replay mode: the reference
+  std::uint64_t verified_ = 0;
+  std::optional<ReplayMismatch> mismatch_;
+  std::string post_mortem_path_;
+  std::size_t post_mortem_window_ = 64;
+  bool dumped_ = false;
+};
+
+/// Outcome of aligning two recordings.
+struct DiffResult {
+  /// False if the headers describe different problems (digest/shape) —
+  /// the pivot comparison is then meaningless and skipped.
+  bool comparable = true;
+  bool diverged = false;
+  std::uint64_t index = 0;  ///< pivot ordinal of the first divergence
+  std::optional<DecisionRecord> a, b;  ///< the competing pivot candidates
+  std::size_t common = 0;   ///< pivots agreeing before the divergence
+  /// Largest |delta| over the common prefix (path-identical runs in
+  /// different precisions differ only here).
+  double max_reduced_cost_delta = 0.0;
+  double max_theta_delta = 0.0;
+  std::string note;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Align two recordings on their pivot sequences (kPivot records, compared
+/// on lane/entering/leaving, not on floating-point payloads) and report the
+/// first divergent iteration with both candidates.
+[[nodiscard]] DiffResult diff(const Recording& a, const Recording& b);
+
+}  // namespace gs::record

@@ -47,6 +47,7 @@ class BatchRevisedSimplex {
     dev_.set_trace(opt_.trace_sink);
     dev_.set_checker(opt_.checker);
     dev_.set_metrics(opt_.metrics);
+    dev_.set_recorder(opt_.recorder);
     // Batch-level metrics: lock-step rounds and the shrinking active set.
     // The per-problem pivot streams are fused into wide kernels here, so
     // the batch engine reports round granularity, not per-problem health.
@@ -79,6 +80,21 @@ class BatchRevisedSimplex {
     }
     const std::size_t m = augs.front().m;
     const std::size_t n = augs.front().n_aug;
+
+    record::Recorder* rec = opt_.recorder;
+    if (rec != nullptr) {
+      // One log for the whole batch: pivots carry their lane index, and
+      // the header digest folds every instance's digest together.
+      std::uint64_t digest = 1469598103934665603ull;
+      for (const AugmentedLp& a : augs) {
+        digest ^= decision_digest(a);
+        digest *= 1099511628211ull;
+      }
+      rec->begin_solve(std::string("batch-revised<") +
+                           (sizeof(Real) == 4 ? "float" : "double") + ">",
+                       sizeof(Real) * 8, m, n, digest);
+      rec->begin_phase(2);  // slack-startable batches skip phase 1
+    }
 
     // ---- Flatten batch state into device arrays. ----
     // at[k*n*m + j*m + i] = A^T_k(j, i); binv[k*m*m + i*m + j]; beta[k*m+i].
@@ -260,6 +276,37 @@ class BatchRevisedSimplex {
       const std::vector<std::uint32_t> p_h = sel_p.to_host();
       const std::vector<Real> theta_h = sel_theta.to_host();
 
+      // Record this round's pivots before the update kernels overwrite
+      // beta/binv. Reads go through host_view() — outside the machine
+      // model, so recording charges no PCIe time and perturbs nothing.
+      if (rec != nullptr) {
+        const std::span<const Real> seld_h = sel_d.host_view();
+        const std::span<const Real> selap_h = sel_alpha_p.host_view();
+        const std::span<const Real> alpha_h = alpha.host_view();
+        const std::span<const Real> beta_hv = beta.host_view();
+        for (std::size_t k = 0; k < batch; ++k) {
+          if (!active[k] || q_h[k] == kNone || p_h[k] == kNone) continue;
+          const Real theta = theta_h[k];
+          std::uint32_t ties = 0;
+          for (std::size_t i = 0; i < m; ++i) {
+            const Real a = alpha_h[k * m + i];
+            if (a > pivot_tol && beta_hv[k * m + i] / a == theta) ++ties;
+          }
+          record::DecisionRecord r;
+          r.phase = 2;
+          r.lane = static_cast<std::uint32_t>(k);
+          r.iteration = iters[k];  // per-lane ordinal, pre-increment
+          r.entering = q_h[k];
+          r.leaving_row = p_h[k];
+          r.leaving_col = basic_h[k * m + p_h[k]];
+          r.ratio_ties = ties;
+          r.reduced_cost = static_cast<double>(seld_h[k]);
+          r.pivot_value = static_cast<double>(selap_h[k]);
+          r.theta = static_cast<double>(theta);
+          rec->record_pivot(r);
+        }
+      }
+
       // -- Update kernels for the problems that pivot this round. --
       dev_.launch_blocks(
           "batch_update_beta", batch * m, vgpu::Device::kBlockSize,
@@ -372,6 +419,13 @@ class BatchRevisedSimplex {
       results[k].stats.wall_seconds = wall.seconds();
       results[k].stats.sim_seconds = dev_.sim_seconds();
       results[k].stats.device_stats = dev_.stats();
+    }
+    if (rec != nullptr) {
+      bool all_optimal = true;
+      for (const SolveResult& r : results) all_optimal &= r.optimal();
+      rec->end_solve(all_optimal ? "optimal" : "mixed", all_optimal,
+                     opt_.metrics ? opt_.metrics->warnings_total() : 0,
+                     basic_h);
     }
     return results;
   }

@@ -61,6 +61,7 @@ class DeviceRevisedSimplex {
     dev_.set_trace(opt_.trace_sink);
     dev_.set_checker(opt_.checker);
     dev_.set_metrics(opt_.metrics);
+    dev_.set_recorder(opt_.recorder);
     // Solver-level metrics live for the whole solve (not per run_loop call)
     // so stall streaks and Bland activations span the phase boundary.
     metrics::SimplexOpMetrics op_metrics;
@@ -80,32 +81,48 @@ class DeviceRevisedSimplex {
       ws.at_host_lu = aug.dense_at();
       lu_refactorize(ws);
     }
+    record::Recorder* rec = opt_.recorder;
+    if (rec != nullptr) {
+      rec->begin_solve(engine_name(), sizeof(Real) * 8, aug.m, aug.n_aug,
+                       decision_digest(aug));
+    }
 
     SolveResult result;
+    // Recorder end-of-solve wrapper around finish(): stamps the status and
+    // final basis, and triggers the post-mortem dump on a bad exit.
+    auto fin = [&](SolveStatus status) -> SolveResult {
+      if (rec != nullptr) {
+        rec->end_solve(to_string(status), status == SolveStatus::kOptimal,
+                       opt_.metrics ? opt_.metrics->warnings_total() : 0,
+                       ws.basic);
+      }
+      return finish(result, status, wall);
+    };
     std::size_t budget = opt_.max_iterations;
 
     // ---- Phase 1: minimize the artificial sum, if any were needed. ----
     if (aug.num_artificial > 0) {
       trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
+      if (rec != nullptr) rec->begin_phase(1);
       ws.load_costs(aug.c_phase1);
       const LoopExit exit =
-          run_loop(ws, budget, result.stats, op_metrics, health);
+          run_loop(ws, budget, result.stats, op_metrics, health, 1);
       result.stats.phase1_iterations = result.stats.iterations;
       if (exit == LoopExit::kIterationLimit) {
-        return finish(result, SolveStatus::kIterationLimit, wall);
+        return fin(SolveStatus::kIterationLimit);
       }
       if (exit == LoopExit::kUnbounded) {
         // Phase-1 objective is bounded below by zero; reaching here means
         // the ratio test lost every pivot to numerics.
-        return finish(result, SolveStatus::kNumericalTrouble, wall);
+        return fin(SolveStatus::kNumericalTrouble);
       }
       const double z1 = ws.current_objective();
       const double feas_tol =
           1e-6 * (1.0 + *std::max_element(aug.b.begin(), aug.b.end()));
       if (z1 > feas_tol) {
-        return finish(result, SolveStatus::kInfeasible, wall);
+        return fin(SolveStatus::kInfeasible);
       }
-      drive_out_artificials(ws);
+      drive_out_artificials(ws, result.stats.iterations);
       budget -= std::min(budget, result.stats.iterations);
     }
 
@@ -113,16 +130,17 @@ class DeviceRevisedSimplex {
     LoopExit exit;
     {
       trace::ScopedSpan phase_span(tr, "phase2", clock, "phase");
+      if (rec != nullptr) rec->begin_phase(2);
       ws.load_costs(aug.c_phase2);
-      exit = run_loop(ws, budget, result.stats, op_metrics, health);
+      exit = run_loop(ws, budget, result.stats, op_metrics, health, 2);
     }
     switch (exit) {
       case LoopExit::kOptimal:
         break;
       case LoopExit::kUnbounded:
-        return finish(result, SolveStatus::kUnbounded, wall);
+        return fin(SolveStatus::kUnbounded);
       case LoopExit::kIterationLimit:
-        return finish(result, SolveStatus::kIterationLimit, wall);
+        return fin(SolveStatus::kIterationLimit);
     }
 
     // Extract the optimum: x_std from the basic values, then map back.
@@ -141,7 +159,7 @@ class DeviceRevisedSimplex {
     // found no entering candidate and stopped): they are the duals.
     const std::vector<Real> pi = ws.pi.to_host();
     result.y = sf.recover_duals(std::vector<double>(pi.begin(), pi.end()));
-    return finish(result, SolveStatus::kOptimal, wall);
+    return fin(SolveStatus::kOptimal);
   }
 
  private:
@@ -709,7 +727,7 @@ class DeviceRevisedSimplex {
 
   LoopExit run_loop(Workspace& ws, std::size_t budget, SolverStats& stats,
                     metrics::SimplexOpMetrics& om,
-                    metrics::HealthMonitor& health) {
+                    metrics::HealthMonitor& health, std::uint8_t phase) {
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
     // Per-op modeled-time laps on the simulated clock: `lap` advances at
@@ -767,6 +785,30 @@ class DeviceRevisedSimplex {
       const Real theta = leave.value;
       const Real alpha_p = ws.alpha.download_value(p);
 
+      if (record::Recorder* rec = opt_.recorder) {
+        // Ratio ties are counted through host_view() — outside the machine
+        // model, so recording charges no PCIe time and perturbs nothing.
+        const std::span<const Real> rv = ws.ratio.host_view();
+        std::uint32_t ties = 0;
+        for (std::size_t i = 0; i < ws.m; ++i) {
+          if (rv[i] == theta) ++ties;
+        }
+        record::DecisionRecord r;
+        r.phase = phase;
+        r.bland = (bland_mode || ws.options.pricing == PricingRule::kBland)
+                      ? 1
+                      : 0;
+        r.iteration = stats.iterations;  // global ordinal, pre-increment
+        r.entering = static_cast<std::uint32_t>(q);
+        r.leaving_row = static_cast<std::uint32_t>(p);
+        r.leaving_col = ws.basic[p];
+        r.ratio_ties = ties;
+        r.reduced_cost = static_cast<double>(d_q);
+        r.pivot_value = static_cast<double>(alpha_p);
+        r.theta = static_cast<double>(theta);
+        rec->record_pivot(r);
+      }
+
       {
         trace::ScopedSpan op(tr, "update", clock, "op");
         if (ws.options.pricing == PricingRule::kDevex) {
@@ -809,6 +851,9 @@ class DeviceRevisedSimplex {
           reinvert(ws);
         }
         lap_observe(metrics::SimplexOp::kRefactor);
+        if (record::Recorder* rec = opt_.recorder) {
+          rec->record_refactor(stats.iterations);
+        }
       }
 
       if (health.want_residual_sample(iter)) sample_health(ws, health, iter);
@@ -904,7 +949,7 @@ class DeviceRevisedSimplex {
   /// level zero. Replace each with any non-artificial column that has a
   /// nonzero pivot in its row; rows with no such column are redundant and
   /// keep their (permanently zero) artificial.
-  void drive_out_artificials(Workspace& ws) {
+  void drive_out_artificials(Workspace& ws, std::uint64_t iteration) {
     for (std::size_t i = 0; i < ws.m; ++i) {
       if (!ws.aug.is_artificial[ws.basic[i]]) continue;
       compute_binv_row(ws, i);
@@ -922,6 +967,17 @@ class DeviceRevisedSimplex {
       const Real alpha_p = ws.alpha.download_value(i);
       if (std::abs(static_cast<double>(alpha_p)) <= ws.options.pivot_tol) {
         continue;
+      }
+      if (record::Recorder* rec = opt_.recorder) {
+        record::DecisionRecord r;
+        r.phase = 1;
+        r.iteration = iteration;
+        r.entering = static_cast<std::uint32_t>(q);
+        r.leaving_row = static_cast<std::uint32_t>(i);
+        r.leaving_col = ws.basic[i];
+        r.ratio_ties = 1;
+        r.pivot_value = static_cast<double>(alpha_p);
+        rec->record_pivot(r);
       }
       pivot(ws, q, i, Real{0}, alpha_p);
     }

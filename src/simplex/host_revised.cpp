@@ -292,11 +292,23 @@ void sample_health(const State& s, metrics::HealthMonitor& health,
   health.record_growth(growth, iter);
 }
 
+/// Rows tied at the winning ratio, using the exact ratio-test expression
+/// (recorder bookkeeping only; never runs when no recorder is attached).
+[[nodiscard]] std::uint32_t count_ratio_ties(const State& s, double theta) {
+  std::uint32_t ties = 0;
+  for (std::size_t i = 0; i < s.m; ++i) {
+    if (s.alpha[i] > s.opt.pivot_tol && s.beta[i] / s.alpha[i] == theta) {
+      ++ties;
+    }
+  }
+  return ties;
+}
+
 enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
 LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
-                  metrics::SimplexOpMetrics& om,
-                  metrics::HealthMonitor& health) {
+                  metrics::SimplexOpMetrics& om, metrics::HealthMonitor& health,
+                  std::uint8_t phase) {
   const trace::Track& tr = s.meter.trace();
   const auto clock = [&s] { return s.meter.sim_seconds(); };
   // Per-op laps on the meter's simulated clock, advancing at op
@@ -344,6 +356,20 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
     if (!leave.has_value()) return LoopExit::kUnbounded;
     const auto [p, theta] = *leave;
     const double alpha_p = s.alpha[p];
+    if (record::Recorder* rec = s.opt.recorder) {
+      record::DecisionRecord r;
+      r.phase = phase;
+      r.bland = bland ? 1 : 0;
+      r.iteration = stats.iterations;  // global pivot ordinal, pre-increment
+      r.entering = static_cast<std::uint32_t>(q);
+      r.leaving_row = static_cast<std::uint32_t>(p);
+      r.leaving_col = s.basic[p];
+      r.ratio_ties = count_ratio_ties(s, theta);
+      r.reduced_cost = d_q;
+      r.pivot_value = alpha_p;
+      r.theta = theta;
+      rec->record_pivot(r);
+    }
     {
       trace::ScopedSpan op(tr, "update", clock, "op");
       pivot(s, q, p, theta);
@@ -367,7 +393,8 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
 
 /// Post-phase-1 cleanup: replace zero-level basic artificials where a
 /// non-artificial pivot exists; redundant rows keep theirs at level zero.
-void drive_out_artificials(State& s) {
+/// `iteration` is the pivot ordinal stamped on recorded drive-out pivots.
+void drive_out_artificials(State& s, std::uint64_t iteration) {
   for (std::size_t i = 0; i < s.m; ++i) {
     if (!s.aug.is_artificial[s.basic[i]]) continue;
     std::size_t q = s.n_aug;
@@ -387,6 +414,17 @@ void drive_out_artificials(State& s) {
     if (q == s.n_aug) continue;
     ftran(s, q);
     if (std::abs(s.alpha[i]) <= s.opt.pivot_tol) continue;
+    if (record::Recorder* rec = s.opt.recorder) {
+      record::DecisionRecord r;
+      r.phase = 1;
+      r.iteration = iteration;
+      r.entering = static_cast<std::uint32_t>(q);
+      r.leaving_row = static_cast<std::uint32_t>(i);
+      r.leaving_col = s.basic[i];
+      r.ratio_ties = 1;
+      r.pivot_value = s.alpha[i];
+      rec->record_pivot(r);
+    }
     pivot(s, q, i, 0.0);
   }
 }
@@ -413,6 +451,11 @@ SolveResult HostRevisedSimplex::solve_standard(
   trace::ScopedSpan solve_span(tr, "solve", clock, "solve");
   const AugmentedLp aug = augment(sf);
   State state(aug, options_, meter);
+  record::Recorder* rec = options_.recorder;
+  if (rec != nullptr) {
+    rec->begin_solve("host-revised", 64, aug.m, aug.n_aug,
+                     decision_digest(aug));
+  }
 
   SolveResult result;
   auto finish = [&](SolveStatus status) -> SolveResult {
@@ -420,15 +463,21 @@ SolveResult HostRevisedSimplex::solve_standard(
     result.stats.wall_seconds = wall.seconds();
     result.stats.device_stats = meter.stats();
     result.stats.sim_seconds = meter.sim_seconds();
+    if (rec != nullptr) {
+      rec->end_solve(to_string(status), status == SolveStatus::kOptimal,
+                     options_.metrics ? options_.metrics->warnings_total() : 0,
+                     state.basic);
+    }
     return result;
   };
 
   std::size_t budget = options_.max_iterations;
   if (aug.num_artificial > 0) {
     trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
+    if (rec != nullptr) rec->begin_phase(1);
     state.c = aug.c_phase1;
     const LoopExit exit =
-        run_loop(state, budget, result.stats, op_metrics, health);
+        run_loop(state, budget, result.stats, op_metrics, health, 1);
     result.stats.phase1_iterations = result.stats.iterations;
     if (exit == LoopExit::kIterationLimit) {
       return finish(SolveStatus::kIterationLimit);
@@ -441,15 +490,16 @@ SolveResult HostRevisedSimplex::solve_standard(
     if (state.objective() > feas_tol) {
       return finish(SolveStatus::kInfeasible);
     }
-    drive_out_artificials(state);
+    drive_out_artificials(state, result.stats.iterations);
     budget -= std::min(budget, result.stats.iterations);
   }
 
   LoopExit exit;
   {
     trace::ScopedSpan phase_span(tr, "phase2", clock, "phase");
+    if (rec != nullptr) rec->begin_phase(2);
     state.c = aug.c_phase2;
-    exit = run_loop(state, budget, result.stats, op_metrics, health);
+    exit = run_loop(state, budget, result.stats, op_metrics, health, 2);
   }
   if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
   if (exit == LoopExit::kIterationLimit) {

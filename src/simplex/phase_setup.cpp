@@ -1,8 +1,49 @@
 #include "simplex/phase_setup.hpp"
 
+#include <cstring>
+
 #include "support/error.hpp"
 
 namespace gs::simplex {
+
+namespace {
+
+// FNV-1a, 64-bit. Hashing the exact double bit patterns keeps the digest
+// independent of engine and working precision (every engine augments the
+// same double-precision standard form).
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t decision_digest(const AugmentedLp& lp) {
+  GS_CHECK_MSG(lp.source != nullptr, "AugmentedLp not initialized");
+  Fnv f;
+  f.mix(static_cast<std::uint64_t>(lp.m));
+  f.mix(static_cast<std::uint64_t>(lp.n));
+  f.mix(static_cast<std::uint64_t>(lp.n_aug));
+  for (std::size_t i = 0; i < lp.m; ++i) {
+    for (const lp::Term& t : lp.source->rows[i]) {
+      f.mix(static_cast<std::uint64_t>(t.var));
+      f.mix(t.coef);
+    }
+    f.mix(lp.b[i]);
+  }
+  for (double c : lp.c_phase2) f.mix(c);
+  return f.h;
+}
 
 AugmentedLp augment(const lp::StandardFormLp& sf) {
   AugmentedLp out;

@@ -57,4 +57,10 @@ struct AugmentedLp {
 /// (b >= 0, each slack column with a single positive entry).
 [[nodiscard]] AugmentedLp augment(const lp::StandardFormLp& sf);
 
+/// Content digest of the decision-relevant problem data (shape, constraint
+/// coefficients, rhs, phase-2 costs). Stamped into recording headers so
+/// replay/diff can refuse to compare logs of different instances. FNV-1a
+/// over the exact double bit patterns: engine- and precision-independent.
+[[nodiscard]] std::uint64_t decision_digest(const AugmentedLp& lp);
+
 }  // namespace gs::simplex

@@ -128,8 +128,8 @@ void eliminate(Tableau& t, std::size_t p, std::size_t q) {
 enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
 LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats,
-                  metrics::SimplexOpMetrics& om,
-                  metrics::HealthMonitor& health) {
+                  metrics::SimplexOpMetrics& om, metrics::HealthMonitor& health,
+                  std::uint8_t phase) {
   std::size_t since_improve = 0;
   double last_obj = kInf;
   for (std::size_t iter = 0; iter < budget; ++iter) {
@@ -159,6 +159,25 @@ LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats,
     // health signals here are the pivot stream (magnitude, degeneracy,
     // Bland activations) and the iteration tally.
     health.record_pivot(t.body(p, q), theta, bland, iter);
+    if (record::Recorder* rec = t.opt.recorder) {
+      std::uint32_t ties = 0;
+      for (std::size_t i = 0; i < t.m; ++i) {
+        const double a = t.body(i, q);
+        if (a > t.opt.pivot_tol && t.rhs[i] / a == theta) ++ties;
+      }
+      record::DecisionRecord r;
+      r.phase = phase;
+      r.bland = bland ? 1 : 0;
+      r.iteration = stats.iterations;  // global pivot ordinal, pre-increment
+      r.entering = static_cast<std::uint32_t>(q);
+      r.leaving_row = static_cast<std::uint32_t>(p);
+      r.leaving_col = t.basic[p];
+      r.ratio_ties = ties;
+      r.reduced_cost = t.drow[q];
+      r.pivot_value = t.body(p, q);
+      r.theta = theta;
+      rec->record_pivot(r);
+    }
     eliminate(t, p, q);
     ++stats.iterations;
     om.count_iteration();
@@ -180,12 +199,24 @@ LoopExit run_loop(Tableau& t, std::size_t budget, SolverStats& stats,
   return z;
 }
 
-/// Pivot lingering zero-level artificials out where possible.
-void drive_out_artificials(Tableau& t) {
+/// Pivot lingering zero-level artificials out where possible. `iteration`
+/// is the pivot ordinal stamped on recorded drive-out pivots.
+void drive_out_artificials(Tableau& t, std::uint64_t iteration) {
   for (std::size_t i = 0; i < t.m; ++i) {
     if (!t.aug.is_artificial[t.basic[i]]) continue;
     for (std::size_t j = 0; j < t.aug.n; ++j) {
       if (!t.in_basis[j] && std::abs(t.body(i, j)) > 1e-7) {
+        if (record::Recorder* rec = t.opt.recorder) {
+          record::DecisionRecord r;
+          r.phase = 1;
+          r.iteration = iteration;
+          r.entering = static_cast<std::uint32_t>(j);
+          r.leaving_row = static_cast<std::uint32_t>(i);
+          r.leaving_col = t.basic[i];
+          r.ratio_ties = 1;
+          r.pivot_value = t.body(i, j);
+          rec->record_pivot(r);
+        }
         eliminate(t, i, j);
         break;
       }
@@ -209,6 +240,10 @@ SolveResult TableauSimplex::solve_standard(
   metrics::HealthMonitor health(options_.metrics, options_.health);
   const AugmentedLp aug = augment(sf);
   Tableau tab(aug, options_, meter);
+  record::Recorder* rec = options_.recorder;
+  if (rec != nullptr) {
+    rec->begin_solve("tableau", 64, aug.m, aug.n_aug, decision_digest(aug));
+  }
 
   SolveResult result;
   auto finish = [&](SolveStatus status) -> SolveResult {
@@ -216,14 +251,20 @@ SolveResult TableauSimplex::solve_standard(
     result.stats.wall_seconds = wall.seconds();
     result.stats.device_stats = meter.stats();
     result.stats.sim_seconds = meter.sim_seconds();
+    if (rec != nullptr) {
+      rec->end_solve(to_string(status), status == SolveStatus::kOptimal,
+                     options_.metrics ? options_.metrics->warnings_total() : 0,
+                     tab.basic);
+    }
     return result;
   };
 
   std::size_t budget = options_.max_iterations;
   if (aug.num_artificial > 0) {
+    if (rec != nullptr) rec->begin_phase(1);
     tab.price_from_scratch(aug.c_phase1);
     const LoopExit exit =
-        run_loop(tab, budget, result.stats, op_metrics, health);
+        run_loop(tab, budget, result.stats, op_metrics, health, 1);
     result.stats.phase1_iterations = result.stats.iterations;
     if (exit == LoopExit::kIterationLimit) {
       return finish(SolveStatus::kIterationLimit);
@@ -236,12 +277,14 @@ SolveResult TableauSimplex::solve_standard(
     if (objective_of(tab, aug.c_phase1) > feas_tol) {
       return finish(SolveStatus::kInfeasible);
     }
-    drive_out_artificials(tab);
+    drive_out_artificials(tab, result.stats.iterations);
     budget -= std::min(budget, result.stats.iterations);
   }
 
+  if (rec != nullptr) rec->begin_phase(2);
   tab.price_from_scratch(aug.c_phase2);
-  const LoopExit exit = run_loop(tab, budget, result.stats, op_metrics, health);
+  const LoopExit exit =
+      run_loop(tab, budget, result.stats, op_metrics, health, 2);
   if (exit == LoopExit::kUnbounded) return finish(SolveStatus::kUnbounded);
   if (exit == LoopExit::kIterationLimit) {
     return finish(SolveStatus::kIterationLimit);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "metrics/health.hpp"
+#include "record/record.hpp"
 #include "trace/trace.hpp"
 #include "vgpu/device.hpp"
 
@@ -133,6 +134,19 @@ struct SolverOptions {
   /// Thresholds and sampling cadence for the HealthMonitor; consulted only
   /// when `metrics` is attached.
   metrics::HealthConfig health;
+
+  /// Optional decision-log recorder (OBSERVABILITY.md, "Recorder"). While
+  /// attached, the engine logs every basis change (entering/leaving pair,
+  /// pivot value, ratio-test ties, Bland activation), refactorization
+  /// event and phase transition into a compact binary log (`gs-record-v1`)
+  /// that can be replayed against a later run, diffed against another
+  /// recording (float vs double, host vs device), or auto-dumped as a
+  /// post-mortem window on a bad exit (`lp_cli --record / --replay /
+  /// --diff`). Null (the default) disables recording: results, DeviceStats
+  /// and iteration paths are bit-identical with and without a recorder,
+  /// the same guarantee the trace sink, checker and metrics registry give.
+  /// Borrowed, not owned; must outlive the solve.
+  record::Recorder* recorder = nullptr;
 };
 
 /// Per-phase and aggregate counters.

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Combined-observer and recorder coverage for lp_cli, run under ctest.
+#
+#   cli_observability.sh <path-to-lp_cli> <source data dir>
+#
+# Checks, end to end against the real binary:
+#   1. Enabling --trace/--metrics/--check/--record individually or all at
+#      once leaves the solve bit-identical to a plain run (status,
+#      iterations, objective, modeled time), and the recording written by
+#      the combined run is byte-identical to the record-only run.
+#   2. A record -> replay round trip verifies every decision with zero
+#      mismatches and reproduces the same solve.
+#   3. A float-vs-double pair on data/precision_tie.lp diverges at pivot 0
+#      and `lp_cli --diff` says so.
+set -u
+LP_CLI=$1
+DATA=$2
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP" || exit 1
+
+GEN=dense:24:7
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Deterministic solve lines only: wall-clock time is stripped, the modeled
+# (simulated) time must match exactly.
+solve_lines() {
+  grep -E '^(status|iterations|objective|modeled time):' "$1" \
+    | sed 's/ ms, wall:.*$/ ms/'
+}
+
+"$LP_CLI" --gen $GEN >plain.out || fail "plain run"
+"$LP_CLI" --gen $GEN --trace trace_solo.json >trace.out || fail "--trace run"
+"$LP_CLI" --gen $GEN --metrics=metrics_solo.json >metrics.out \
+  || fail "--metrics run"
+"$LP_CLI" --gen $GEN --check >check.out || fail "--check run"
+"$LP_CLI" --gen $GEN --record=solo.gsrec >record.out || fail "--record run"
+"$LP_CLI" --gen $GEN --trace trace_comb.json --metrics=metrics_comb.json \
+  --check --record=comb.gsrec >combined.out || fail "combined run"
+
+solve_lines plain.out >expected.txt
+for f in trace.out metrics.out check.out record.out combined.out; do
+  solve_lines "$f" >got.txt
+  diff expected.txt got.txt >/dev/null \
+    || fail "$f: solve differs from plain run (observers must be inert)"
+done
+cmp -s solo.gsrec comb.gsrec \
+  || fail "combined-run recording differs from record-only recording"
+
+# Record -> replay round trip.
+"$LP_CLI" --gen $GEN --replay=solo.gsrec >replay.out \
+  || { cat replay.out >&2; fail "replay exited nonzero"; }
+grep -q 'replay: verified' replay.out \
+  || fail "replay did not report verification"
+solve_lines replay.out >got.txt
+diff expected.txt got.txt >/dev/null \
+  || fail "replay solve differs from original run"
+
+# Float-vs-double divergence witness.
+"$LP_CLI" "$DATA/precision_tie.lp" --engine device --record=tie_d.gsrec \
+  >/dev/null || fail "double solve of precision_tie.lp"
+"$LP_CLI" "$DATA/precision_tie.lp" --engine device-float \
+  --record=tie_f.gsrec >/dev/null || fail "float solve of precision_tie.lp"
+"$LP_CLI" --diff tie_d.gsrec tie_f.gsrec >diff.out \
+  || { cat diff.out >&2; fail "--diff exited nonzero"; }
+grep -q 'diverge at pivot 0' diff.out \
+  || { cat diff.out >&2; fail "--diff did not report divergence at pivot 0"; }
+
+echo "cli_observability: all checks passed"
