@@ -9,7 +9,12 @@
 // tolerance bands in compare_bench.py exist to absorb intentional machine-
 // model or algorithm changes, not host noise.
 //
-// Usage: bench_json [out.json]   (default: BENCH_solver.json in the CWD)
+// Usage: bench_json [out.json] [--tiny]
+//   out.json  output path (default: BENCH_solver.json in the CWD)
+//   --tiny    perf-smoke mode for ci.sh: run only the first two sweep
+//             points and skip the breakdown section. The result is a
+//             strict subset of the full document, gated with
+//             `compare_bench.py --subset` against the committed baseline.
 #include <iterator>
 #include <string>
 
@@ -42,7 +47,16 @@ void append_kv(std::string& out, int indent, std::string_view key,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_solver.json";
+  const bool tiny = bench::has_flag(argc, argv, "--tiny");
+  std::string out_path = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--tiny") {
+      out_path = argv[i];
+      break;
+    }
+  }
+
+  const std::size_t sweep_count = tiny ? 2 : std::size(kSweepSizes);
 
   std::string out;
   out += "{\n  \"schema\": \"gs-bench-v1\",\n";
@@ -51,7 +65,7 @@ int main(int argc, char** argv) {
   // Health warnings at these fixed seeds are part of the gated contract:
   // compare_bench.py fails if any warning count *increases* vs baseline.
   out += "  \"sweep\": [\n";
-  for (std::size_t s = 0; s < std::size(kSweepSizes); ++s) {
+  for (std::size_t s = 0; s < sweep_count; ++s) {
     const std::size_t size = kSweepSizes[s];
     const auto problem =
         lp::random_dense_lp({.rows = size, .cols = size, .seed = 1});
@@ -95,12 +109,12 @@ int main(int argc, char** argv) {
       metrics::json_write_number(out, value);
     }
     out += "}\n";
-    out += (s + 1 < std::size(kSweepSizes)) ? "    },\n" : "    }\n";
+    out += (s + 1 < sweep_count) ? "    },\n" : "    }\n";
   }
-  out += "  ],\n";
+  out += tiny ? "  ]\n" : "  ],\n";
 
   // --- Tab.1-style per-operation breakdown at a fixed iteration cap. ----
-  {
+  if (!tiny) {
     const auto problem = lp::random_dense_lp(
         {.rows = kBreakdownSize, .cols = kBreakdownSize, .seed = 3});
     simplex::SolverOptions opt;

@@ -2,6 +2,7 @@
 """Regression gate for the gs-bench-v1 artifact (BENCH_solver.json).
 
 Usage: compare_bench.py BASELINE CANDIDATE [--tolerance FRAC]
+                        [--budget-tolerance FRAC] [--subset]
 
 Exit codes: 0 = within bands, 1 = regression/structure failure, 2 = usage
 error (missing or malformed input file) -- so CI can tell "the candidate
@@ -13,14 +14,26 @@ Walks both JSON documents in lockstep and fails (exit 1) when:
   * a runtime field -- any numeric key ending in ``_ms`` or ``_seconds`` --
     regresses by more than the tolerance (default 25%, relative).
     Improvements (candidate faster) always pass;
+  * a launch/transfer budget field -- ``kernel_launches`` or
+    ``h2d_bytes`` -- grows by more than the budget tolerance (default 5%,
+    relative). These are deterministic counters at fixed seeds, so the
+    band is deliberately tight: a new per-iteration launch or upload is a
+    design regression (the fusion work in the device engine exists to
+    drive them DOWN), not model noise. Improvements always pass;
   * any health-warning count (``warnings_total`` or an entry under
     ``warnings_by_kind``) increases. Warnings disappearing is fine;
     new numerical-health noise at fixed seeds is not.
 
-All other numeric fields (iteration counts, byte/launch tallies, shares)
-are informational: drift is reported but does not fail the gate, so
+All other numeric fields (iteration counts, d2h tallies, shares) are
+informational: drift is reported but does not fail the gate, so
 machine-model retuning doesn't require a baseline refresh unless it
 actually moves modeled runtimes past the band.
+
+``--subset`` relaxes the structural check for quick gates (ci.sh's
+perf-smoke runs ``bench_json --tiny`` against the full committed
+baseline): keys or sweep points present only in the BASELINE become
+notes instead of failures, and sweep entries are aligned by their ``m``
+field rather than by list position. Candidate-only keys still fail.
 """
 
 import argparse
@@ -28,6 +41,7 @@ import json
 import sys
 
 RUNTIME_SUFFIXES = ("_ms", "_seconds")
+BUDGET_KEYS = ("kernel_launches", "h2d_bytes")
 WARNING_KEYS = ("warnings_total",)
 
 
@@ -44,9 +58,16 @@ def fmt(path):
     return "/".join(str(p) for p in path) or "<root>"
 
 
-def compare(base, cand, tolerance, path=(), failures=None, notes=None):
+def is_m_keyed_sweep(value):
+    return (isinstance(value, list) and value and
+            all(isinstance(e, dict) and "m" in e for e in value))
+
+
+def compare(base, cand, tolerance, path=(), failures=None, notes=None,
+            budget_tolerance=0.05, subset=False):
     if failures is None:
         failures, notes = [], []
+    kw = dict(budget_tolerance=budget_tolerance, subset=subset)
     if type(base) is not type(cand) and not (
         isinstance(base, (int, float)) and isinstance(cand, (int, float))
     ):
@@ -55,17 +76,38 @@ def compare(base, cand, tolerance, path=(), failures=None, notes=None):
     elif isinstance(base, dict):
         missing = sorted(set(base) - set(cand))
         extra = sorted(set(cand) - set(base))
-        if missing:
+        if missing and subset:
+            notes.append(f"{fmt(path)}: baseline-only keys skipped "
+                         f"(--subset): {missing}")
+        elif missing:
             failures.append(f"{fmt(path)}: keys missing in candidate: {missing}")
         if extra:
             failures.append(f"{fmt(path)}: unexpected new keys: {extra}")
         for key in sorted(set(base) & set(cand)):
-            compare(base[key], cand[key], tolerance, path + (key,), failures, notes)
+            compare(base[key], cand[key], tolerance, path + (key,), failures,
+                    notes, **kw)
     elif isinstance(base, list):
-        if len(base) != len(cand):
-            failures.append(f"{fmt(path)}: list length {len(base)} -> {len(cand)}")
-        for i, (b, c) in enumerate(zip(base, cand)):
-            compare(b, c, tolerance, path + (i,), failures, notes)
+        if subset and is_m_keyed_sweep(base) and is_m_keyed_sweep(cand):
+            # Align sweep points by problem size, not list position: a
+            # --tiny candidate covers a prefix of the baseline sweep.
+            base_by_m = {e["m"]: e for e in base}
+            for i, entry in enumerate(cand):
+                if entry["m"] not in base_by_m:
+                    failures.append(f"{fmt(path + (i,))}: sweep point "
+                                    f"m={entry['m']} not in baseline")
+                    continue
+                compare(base_by_m[entry["m"]], entry, tolerance,
+                        path + (f"m={entry['m']}",), failures, notes, **kw)
+            skipped = sorted(set(base_by_m) - {e["m"] for e in cand})
+            if skipped:
+                notes.append(f"{fmt(path)}: baseline sweep points skipped "
+                             f"(--subset): m={skipped}")
+        else:
+            if len(base) != len(cand):
+                failures.append(
+                    f"{fmt(path)}: list length {len(base)} -> {len(cand)}")
+            for i, (b, c) in enumerate(zip(base, cand)):
+                compare(b, c, tolerance, path + (i,), failures, notes, **kw)
     elif isinstance(base, (int, float)):
         leaf = str(path[-1]) if path else ""
         if is_warning_key(path):
@@ -82,6 +124,15 @@ def compare(base, cand, tolerance, path=(), failures=None, notes=None):
             elif base > 0 and abs(cand - base) / base > 1e-9:
                 notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
                              f"({(cand - base) / base:+.1%})")
+        elif leaf in BUDGET_KEYS:
+            if base > 0 and (cand - base) / base > budget_tolerance:
+                failures.append(
+                    f"{fmt(path)}: launch/transfer budget regression "
+                    f"{base:.6g} -> {cand:.6g} "
+                    f"(+{(cand - base) / base:.1%} > {budget_tolerance:.0%})")
+            elif cand != base:
+                notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
+                             f"({(cand - base) / base:+.1%})")
         elif cand != base:
             notes.append(f"{fmt(path)}: {base} -> {cand} (informational)")
     elif base != cand:
@@ -96,6 +147,13 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max relative runtime regression (default 0.25)")
+    ap.add_argument("--budget-tolerance", type=float, default=0.05,
+                    help="max relative kernel_launches / h2d_bytes growth "
+                         "(default 0.05)")
+    ap.add_argument("--subset", action="store_true",
+                    help="candidate may cover a subset of the baseline: "
+                         "baseline-only keys are notes, sweep points align "
+                         "by 'm' (for bench_json --tiny gates)")
     args = ap.parse_args()
 
     # A gate that cannot read its inputs has not run: exit 2, one line,
@@ -115,7 +173,9 @@ def main():
             return 2
     base, cand = docs
 
-    failures, notes = compare(base, cand, args.tolerance)
+    failures, notes = compare(base, cand, args.tolerance,
+                              budget_tolerance=args.budget_tolerance,
+                              subset=args.subset)
     for n in notes:
         print(f"  note: {n}")
     if failures:

@@ -72,6 +72,42 @@ sys.exit(subprocess.run(
 EOF
   [ "${rc}" -eq 1 ] || {
     echo "expected exit 1 on doctored runtimes, got ${rc}"; exit 1; }
+
+  # A doctored launch/transfer budget (kernel_launches / h2d_bytes grown
+  # past the 5% band) must also fail: the iteration-slimming work in the
+  # device engine is gated, not just modeled runtime.
+  rc=0
+  python3 - <<'EOF' || rc=$?
+import json, subprocess, sys
+doc = json.load(open("BENCH_solver.json"))
+def inflate(node):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if isinstance(v, (int, float)) and k in (
+                    "kernel_launches", "h2d_bytes"):
+                node[k] = v * 1.2  # past the 5% budget band
+            else:
+                inflate(v)
+    elif isinstance(node, list):
+        for v in node:
+            inflate(v)
+inflate(doc)
+json.dump(doc, open("build/bench_budget_doctored.json", "w"))
+sys.exit(subprocess.run(
+    [sys.executable, "bench/compare_bench.py", "BENCH_solver.json",
+     "build/bench_budget_doctored.json"],
+    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL).returncode)
+EOF
+  [ "${rc}" -eq 1 ] || {
+    echo "expected exit 1 on doctored launch budget, got ${rc}"; exit 1; }
+
+  # Perf-smoke subset gate: the quick --tiny sweep (first two points, no
+  # breakdown) must sit inside the committed baseline's bands when aligned
+  # by problem size with --subset. This is the fast path CI runs on every
+  # push; the full regeneration above catches the rest.
+  echo "==> perf-smoke (bench_json --tiny vs committed baseline)"
+  (cd build && ./bench/bench_json bench_tiny.json --tiny)
+  python3 bench/compare_bench.py --subset BENCH_solver.json build/bench_tiny.json
 else
   echo "==> python3 not installed; skipping bench-json gate"
 fi

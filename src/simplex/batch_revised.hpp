@@ -98,7 +98,9 @@ class BatchRevisedSimplex {
 
     // ---- Flatten batch state into device arrays. ----
     // at[k*n*m + j*m + i] = A^T_k(j, i); binv[k*m*m + i*m + j]; beta[k*m+i].
-    std::vector<Real> at_h(batch * n * m), binv_h(batch * m * m),
+    // The initial inverses are diagonal, so only the batch*m diagonal
+    // entries cross PCIe; a device kernel expands them in place.
+    std::vector<Real> at_h(batch * n * m), diag_h(batch * m),
         beta_h(batch * m), c_h(batch * n), cb_h(batch * m, Real{0}),
         mask_h(batch * n);
     std::vector<std::uint32_t> basic_h(batch * m);
@@ -108,8 +110,7 @@ class BatchRevisedSimplex {
         at_h[k * n * m + e] = static_cast<Real>(at64.flat()[e]);
       }
       for (std::size_t i = 0; i < m; ++i) {
-        binv_h[k * m * m + i * m + i] =
-            static_cast<Real>(augs[k].binv_diag[i]);
+        diag_h[k * m + i] = static_cast<Real>(augs[k].binv_diag[i]);
         beta_h[k * m + i] = static_cast<Real>(augs[k].beta_init[i]);
         basic_h[k * m + i] = augs[k].basic[i];
       }
@@ -121,14 +122,22 @@ class BatchRevisedSimplex {
         mask_h[k * n + augs[k].basic[i]] = Real{0};
       }
     }
-    vgpu::DeviceBuffer<Real> at(dev_, at_h), binv(dev_, binv_h),
-        beta(dev_, beta_h), c(dev_, c_h), cb(dev_, cb_h), mask(dev_, mask_h);
+    vgpu::DeviceBuffer<Real> at(dev_, at_h), diag(dev_, diag_h),
+        binv(dev_, batch * m * m), beta(dev_, beta_h), c(dev_, c_h),
+        cb(dev_, cb_h), mask(dev_, mask_h);
     vgpu::DeviceBuffer<Real> pi(dev_, batch * m), d(dev_, batch * n),
         alpha(dev_, batch * m), prow(dev_, batch * m);
-    // Per-problem selection outputs (scalar lanes).
+    // Per-problem selection outputs (scalar lanes). The q/p/theta triple
+    // the host needs each round is additionally packed into one Real
+    // buffer so the whole batch's decisions come back in a single d2h
+    // (indices encoded as Real, -1 = none; exact up to 2^24 in float).
     vgpu::DeviceBuffer<Real> sel_d(dev_, batch), sel_theta(dev_, batch),
-        sel_alpha_p(dev_, batch);
+        sel_alpha_p(dev_, batch), sel_pack(dev_, 3 * batch);
     vgpu::DeviceBuffer<std::uint32_t> sel_q(dev_, batch), sel_p(dev_, batch);
+    // Device-resident basis map: lets the pivot-apply kernel do the mask /
+    // cb / basic bookkeeping on device instead of per-pivot H2D pokes.
+    vgpu::DeviceBuffer<std::uint32_t> basic_dev(
+        dev_, std::span<const std::uint32_t>(basic_h));
 
     std::vector<char> active(batch, 1);
     std::vector<SolveResult> results(batch);
@@ -155,6 +164,23 @@ class BatchRevisedSimplex {
     auto selap_s = sel_alpha_p.device_span();
     auto selq_s = sel_q.device_span();
     auto selp_s = sel_p.device_span();
+    auto pack_s = sel_pack.device_span();
+    auto basic_s = basic_dev.device_span();
+    auto diag_s = diag.device_span();
+
+    // Expand the uploaded diagonals into the dense inverses on device.
+    dev_.launch_blocks(
+        "batch_binv_init", batch * m, vgpu::Device::kBlockSize,
+        {0.0, double(batch * (m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t g = lo; g < hi; ++g) {
+            const std::size_t k = g / m, i = g % m;
+            binv_s.write_range(k * m * m + i * m, k * m * m + (i + 1) * m);
+            Real* row = binv_s.data() + k * m * m + i * m;
+            for (std::size_t j = 0; j < m; ++j) row[j] = Real{0};
+            row[i] = diag_s[g];
+          }
+        });
 
     // Host mirror of the active mask, uploaded once per status change; the
     // kernels read it through this device buffer.
@@ -253,7 +279,10 @@ class BatchRevisedSimplex {
            double(batch * 2 * m * sizeof(Real)), sizeof(Real)},
           [&](std::size_t, std::size_t lo, std::size_t hi) {
             for (std::size_t k = lo; k < hi; ++k) {
-              if (act_s[k] == Real{0} || selq_s[k] == kNone) continue;
+              if (act_s[k] == Real{0}) continue;
+              const std::uint32_t sq = selq_s[k];
+              pack_s[3 * k] = sq == kNone ? Real{-1} : static_cast<Real>(sq);
+              if (sq == kNone) continue;
               std::uint32_t p = kNone;
               Real theta = kInf;
               for (std::size_t i = 0; i < m; ++i) {
@@ -269,12 +298,26 @@ class BatchRevisedSimplex {
               selp_s[k] = p;
               selth_s[k] = theta;
               selap_s[k] = p == kNone ? Real{0} : alpha_s[k * m + p];
+              pack_s[3 * k + 1] = p == kNone ? Real{-1} : static_cast<Real>(p);
+              pack_s[3 * k + 2] = theta;
             }
           });
-      // -- One readback for the whole batch (amortized PCIe). --
-      const std::vector<std::uint32_t> q_h = sel_q.to_host();
-      const std::vector<std::uint32_t> p_h = sel_p.to_host();
-      const std::vector<Real> theta_h = sel_theta.to_host();
+      // -- ONE readback for the whole batch: the packed q/p/theta triples
+      // (was three separate copies; latency is the term that matters). --
+      std::vector<Real> pack_h(3 * batch);
+      sel_pack.download(std::span<Real>(pack_h));
+      std::vector<std::uint32_t> q_h(batch, kNone), p_h(batch, kNone);
+      std::vector<Real> theta_h(batch, kInf);
+      for (std::size_t k = 0; k < batch; ++k) {
+        if (!active[k]) continue;  // stale pack lanes: never decoded
+        if (pack_h[3 * k] >= Real{0}) {
+          q_h[k] = static_cast<std::uint32_t>(pack_h[3 * k]);
+          if (pack_h[3 * k + 1] >= Real{0}) {
+            p_h[k] = static_cast<std::uint32_t>(pack_h[3 * k + 1]);
+          }
+          theta_h[k] = pack_h[3 * k + 2];
+        }
+      }
 
       // Record this round's pivots before the update kernels overwrite
       // beta/binv. Reads go through host_view() — outside the machine
@@ -308,10 +351,13 @@ class BatchRevisedSimplex {
       }
 
       // -- Update kernels for the problems that pivot this round. --
+      // Fused beta step + pivot-row snapshot (one batch*m-wide launch; the
+      // row copy reads the pre-update inverse, which this kernel does not
+      // touch).
       dev_.launch_blocks(
-          "batch_update_beta", batch * m, vgpu::Device::kBlockSize,
+          "batch_pivot_stage", batch * m, vgpu::Device::kBlockSize,
           {2.0 * double(batch) * double(m),
-           double(batch * 3 * m * sizeof(Real)), sizeof(Real)},
+           double(batch * 5 * m * sizeof(Real)), sizeof(Real)},
           [&](std::size_t, std::size_t lo, std::size_t hi) {
             for (std::size_t g = lo; g < hi; ++g) {
               const std::size_t k = g / m, i = g % m;
@@ -319,29 +365,21 @@ class BatchRevisedSimplex {
                   selp_s[k] == kNone) {
                 continue;
               }
+              prow_s[g] = binv_s[k * m * m + selp_s[k] * m + i];
               const Real theta = selth_s[k];
               Real v = (i == selp_s[k]) ? theta
                                         : beta_s[g] - theta * alpha_s[g];
               beta_s[g] = v < Real{0} ? Real{0} : v;
             }
           });
+      // Rank-1 inverse update + on-device basis bookkeeping: the pivot
+      // lane (i == p) swaps basic/mask/cb in device memory, replacing the
+      // reference path's three per-pivot upload_value round trips.
       dev_.launch_blocks(
-          "batch_save_pivot_row", batch * m, vgpu::Device::kBlockSize,
-          {0.0, double(batch * 2 * m * sizeof(Real)), sizeof(Real)},
-          [&](std::size_t, std::size_t lo, std::size_t hi) {
-            for (std::size_t g = lo; g < hi; ++g) {
-              const std::size_t k = g / m, j = g % m;
-              if (act_s[k] == Real{0} || selq_s[k] == kNone ||
-                  selp_s[k] == kNone) {
-                continue;
-              }
-              prow_s[g] = binv_s[k * m * m + selp_s[k] * m + j];
-            }
-          });
-      dev_.launch_blocks(
-          "batch_update_binv", batch * m, vgpu::Device::kBlockSize,
+          "batch_pivot_apply", batch * m, vgpu::Device::kBlockSize,
           {2.0 * double(batch) * double(m) * double(m),
-           double(batch * (2 * m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
+           double(batch * (2 * m * m + 2 * m + 4) * sizeof(Real)),
+           sizeof(Real)},
           [&](std::size_t, std::size_t lo, std::size_t hi) {
             for (std::size_t g = lo; g < hi; ++g) {
               const std::size_t k = g / m, i = g % m;
@@ -358,6 +396,13 @@ class BatchRevisedSimplex {
                 binv_s.write_range(k * m * m + i * m, k * m * m + (i + 1) * m);
                 const Real inv = Real{1} / ap;
                 for (std::size_t j = 0; j < m; ++j) row[j] = saved[j] * inv;
+                // One writer per problem: lane p owns the basis swap.
+                const std::size_t sq = selq_s[k];
+                const std::uint32_t leaving = basic_s[k * m + p];
+                basic_s[k * m + p] = static_cast<std::uint32_t>(sq);
+                mask_s[k * n + sq] = Real{0};
+                mask_s[k * n + leaving] = Real{1};
+                cb_s[k * m + p] = c_s[k * n + sq];
               } else {
                 const Real f = alpha_s[k * m + i] / ap;
                 if (f == Real{0}) continue;
@@ -369,9 +414,9 @@ class BatchRevisedSimplex {
             }
           });
 
-      // -- Host bookkeeping: statuses, basis swaps, masks, cb. --
+      // -- Host bookkeeping: statuses and the host basis mirror (kept in
+      // lock step with basic_dev at zero transfer cost). --
       bool mask_dirty = false;
-      std::vector<Real> cb_updates;
       for (std::size_t k = 0; k < batch; ++k) {
         if (!active[k]) continue;
         if (q_h[k] == kNone) {
@@ -392,12 +437,7 @@ class BatchRevisedSimplex {
         }
         (void)theta_h;
         ++iters[k];
-        const std::uint32_t leaving = basic_h[k * m + p_h[k]];
         basic_h[k * m + p_h[k]] = q_h[k];
-        mask.upload_value(k * n + q_h[k], Real{0});
-        mask.upload_value(k * n + leaving, Real{1});
-        cb.upload_value(k * m + p_h[k],
-                        static_cast<Real>(augs[k].c_phase2[q_h[k]]));
       }
       if (mask_dirty) upload_active();
       if (tr.enabled()) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -196,17 +197,35 @@ class DeviceRevisedSimplex {
           eta_work(dev, m),
           devex_w(dev, n_aug),
           col_work(dev, n_aug),
+          desc(dev, kDescSlots),
           basic(aug_in.basic),
           options(opt) {
-      // Initial diagonal B^-1 and beta from the crash basis.
-      vblas::Matrix<Real> binv0(m, m);
-      std::vector<Real> beta0(m), b0(m);
+      // Initial B^-1 and beta from the crash basis. The inverse starts
+      // diagonal, so only the m diagonal entries cross PCIe; a device
+      // kernel expands them into the dense m x m matrix (the full-matrix
+      // upload was ~a third of all H2D bytes at bench scale).
+      std::vector<Real> diag0(m), beta0(m), b0(m);
       for (std::size_t i = 0; i < m; ++i) {
-        binv0(i, i) = static_cast<Real>(aug.binv_diag[i]);
+        diag0[i] = static_cast<Real>(aug.binv_diag[i]);
         beta0[i] = static_cast<Real>(aug.beta_init[i]);
         b0[i] = static_cast<Real>(aug.b[i]);
       }
-      binv.upload(binv0);
+      vgpu::DeviceBuffer<Real> diag_dev(dev,
+                                        std::span<const Real>(diag0));
+      auto dsp = diag_dev.device_span();
+      auto bi = binv.device_span();
+      dev.launch_blocks(
+          "binv_init", m, vgpu::Device::kBlockSize,
+          {0.0, static_cast<double>((m * m + 2 * m) * sizeof(Real)),
+           sizeof(Real)},
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              bi.write_range(i * m, i * m + m);
+              Real* row = bi.data() + i * m;
+              for (std::size_t j = 0; j < m; ++j) row[j] = Real{0};
+              row[i] = dsp[i];
+            }
+          });
       beta.upload(beta0);
       b_dev.upload(b0);
       in_basis.assign(n_aug, false);
@@ -258,6 +277,9 @@ class DeviceRevisedSimplex {
         pivot_row, scalar_tmp, eta_work;
     vgpu::DeviceBuffer<Real> devex_w;
     vgpu::DeviceBuffer<Real> col_work;  ///< n_aug scratch (scores, rows)
+    /// Fused-path pivot descriptor (kDescSlots Reals): the iteration's
+    /// entering/leaving decisions, filled on device, fetched with one d2h.
+    vgpu::DeviceBuffer<Real> desc;
 
     /// Product-form eta file: (pivot row, eta vector) per pivot since the
     /// last reinversion.
@@ -559,6 +581,97 @@ class DeviceRevisedSimplex {
         });
   }
 
+  // -------------------------------------------------------------------
+  // Fused iteration kernels (SolverOptions::fused_iteration). Same
+  // arithmetic as the reference kernels above, collapsed so one iteration
+  // costs 5 launches (6 with Devex) and ONE scalar-sized PCIe readback.
+  // -------------------------------------------------------------------
+
+  /// Fused save_pivot_row + update_beta: one m-wide launch snapshots the
+  /// pre-update pivot row of B^-1 and steps beta past the pivot.
+  void pivot_stage(Workspace& ws, std::size_t p, Real theta) {
+    const std::size_t m = ws.m;
+    auto binv = ws.binv.device_span();
+    auto prow = ws.pivot_row.device_span();
+    auto asp = ws.alpha.device_span();
+    auto bsp = ws.beta.device_span();
+    const Real round_tol = static_cast<Real>(ws.options.round_tol);
+    dev_.launch_blocks(
+        "pivot_stage", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m), bytes(5 * m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            prow[i] = binv[p * m + i];
+            Real v = (i == p) ? theta : bsp[i] - theta * asp[i];
+            if (round_tol > Real{0} && std::abs(v) < round_tol) v = Real{0};
+            bsp[i] = v < Real{0} ? Real{0} : v;
+          }
+        });
+  }
+
+  /// Tile width for the fused elimination inner loop: prow tiles stay hot
+  /// in L1 across consecutive rows of the update.
+  static constexpr std::size_t kEliminationTile = 64;
+
+  /// Fused rank-1 update of B^-1 + the pivot's scalar bookkeeping. The
+  /// reference path's three upload_value round trips (c_B[p], mask[q] off,
+  /// mask[leaving] on) ride along as kernel arguments written by the pivot
+  /// lane — zero per-iteration H2D traffic. The default round_tol == 0
+  /// elimination loop is branch-free and cache-blocked so it vectorizes.
+  void pivot_apply(Workspace& ws, std::size_t q, std::size_t p, Real alpha_p,
+                   Real cb_new, std::size_t leaving, bool unmask_leaving) {
+    const std::size_t m = ws.m;
+    auto binv = ws.binv.device_span();
+    auto prow = ws.pivot_row.device_span();
+    auto asp = ws.alpha.device_span();
+    auto csp = ws.cb.device_span();
+    auto msp = ws.mask.device_span();
+    const Real round_tol = static_cast<Real>(ws.options.round_tol);
+    dev_.launch_blocks(
+        "pivot_apply", m, vgpu::Device::kBlockSize,
+        {2.0 * double(m) * double(m), bytes(2 * m * m + 2 * m + 4),
+         sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            Real* row = binv.data() + i * m;
+            if (i == p) {
+              binv.write_range(i * m, i * m + m);
+              const Real inv = Real{1} / alpha_p;
+              for (std::size_t j = 0; j < m; ++j) {
+                Real v = prow[j] * inv;
+                if (round_tol > Real{0} && std::abs(v) < round_tol) {
+                  v = Real{0};
+                }
+                row[j] = v;
+              }
+              // One writer each: the pivot lane owns the scalar pokes.
+              csp[p] = cb_new;
+              msp[q] = Real{0};
+              if (unmask_leaving) msp[leaving] = Real{1};
+            } else {
+              const Real f = asp[i] / alpha_p;
+              if (f == Real{0}) continue;
+              binv.read_range(i * m, i * m + m);
+              binv.write_range(i * m, i * m + m);
+              if (round_tol > Real{0}) {
+                for (std::size_t j = 0; j < m; ++j) {
+                  Real v = row[j] - f * prow[j];
+                  if (std::abs(v) < round_tol) v = Real{0};
+                  row[j] = v;
+                }
+              } else {
+                for (std::size_t j0 = 0; j0 < m; j0 += kEliminationTile) {
+                  const std::size_t j1 = std::min(m, j0 + kEliminationTile);
+                  for (std::size_t j = j0; j < j1; ++j) {
+                    row[j] = row[j] - f * prow[j];
+                  }
+                }
+              }
+            }
+          }
+        });
+  }
+
   /// Product-form: append the eta for this pivot instead of updating B^-1.
   void append_eta(Workspace& ws, std::size_t p, Real alpha_p) {
     vgpu::DeviceBuffer<Real> eta(dev_, ws.m);
@@ -728,6 +841,10 @@ class DeviceRevisedSimplex {
   LoopExit run_loop(Workspace& ws, std::size_t budget, SolverStats& stats,
                     metrics::SimplexOpMetrics& om,
                     metrics::HealthMonitor& health, std::uint8_t phase) {
+    if (ws.options.fused_iteration &&
+        ws.options.basis == BasisScheme::kExplicitInverse) {
+      return run_loop_fused(ws, budget, stats, om, health, phase);
+    }
     const trace::Track& tr = dev_.trace();
     const auto clock = [this] { return dev_.sim_seconds(); };
     // Per-op modeled-time laps on the simulated clock: `lap` advances at
@@ -850,6 +967,151 @@ class DeviceRevisedSimplex {
         } else {
           reinvert(ws);
         }
+        lap_observe(metrics::SimplexOp::kRefactor);
+        if (record::Recorder* rec = opt_.recorder) {
+          rec->record_refactor(stats.iterations);
+        }
+      }
+
+      if (health.want_residual_sample(iter)) sample_health(ws, health, iter);
+    }
+    return LoopExit::kIterationLimit;
+  }
+
+  /// The fused twin of run_loop (explicit inverse only): per iteration,
+  ///   price_btran -> price_select -> ftran_ratio -> [descriptor d2h]
+  ///   -> pivot_stage -> [devex_update_fused] -> pivot_apply.
+  /// The pivot sequence is bit-identical to run_loop's — the fused
+  /// selections share the primitives' block-scan semantics and the device-
+  /// side acceptance tests mirror the host ones — so recordings diff clean
+  /// against the reference path (tests/test_fusion.cpp). Observer side
+  /// effects (trace op spans, metrics laps, recorder fields, health
+  /// samples) are kept structurally identical.
+  LoopExit run_loop_fused(Workspace& ws, std::size_t budget,
+                          SolverStats& stats, metrics::SimplexOpMetrics& om,
+                          metrics::HealthMonitor& health, std::uint8_t phase) {
+    const trace::Track& tr = dev_.trace();
+    const auto clock = [this] { return dev_.sim_seconds(); };
+    const bool om_on = om.enabled();
+    double lap = om_on ? dev_.sim_seconds() : 0.0;
+    const auto lap_observe = [&](metrics::SimplexOp op) {
+      if (!om_on) return;
+      const double now = dev_.sim_seconds();
+      om.observe(op, now - lap);
+      lap = now;
+    };
+    double z = ws.current_objective();
+    std::size_t since_improve = 0;
+    bool bland_mode = false;
+    std::array<Real, kDescSlots> desc_h{};
+    for (std::size_t iter = 0; iter < budget; ++iter) {
+      if (ws.options.pricing == PricingRule::kHybrid) {
+        bland_mode = since_improve >= ws.options.degeneracy_window;
+      }
+
+      trace::ScopedSpan iter_span(tr, "iteration", clock, "iteration",
+                                  {{"iter", static_cast<double>(iter)}});
+      if (om_on) lap = dev_.sim_seconds();
+
+      const bool bland_now =
+          bland_mode || ws.options.pricing == PricingRule::kBland;
+      const EnteringRule rule =
+          bland_now ? EnteringRule::kBland
+                    : (ws.options.pricing == PricingRule::kDevex
+                           ? EnteringRule::kDevex
+                           : EnteringRule::kDantzig);
+      {
+        trace::ScopedSpan op(tr, "price", clock, "op");
+        btran_dense(ws, ws.cb, ws.pi);
+        ws.at.price_select(ws.pi, ws.c, ws.mask, ws.d, ws.col_work,
+                           ws.devex_w, ws.desc, rule,
+                           static_cast<Real>(ws.options.opt_tol));
+      }
+      lap_observe(metrics::SimplexOp::kPrice);
+      {
+        // Speculative: issued before the host knows whether pricing found
+        // a candidate; the kernel early-exits on-device when it did not.
+        trace::ScopedSpan op(tr, "ftran", clock, "op");
+        ws.at.ftran_ratio_select(ws.binv, ws.beta, ws.alpha, ws.ratio,
+                                 ws.desc,
+                                 static_cast<Real>(ws.options.pivot_tol));
+      }
+      lap_observe(metrics::SimplexOp::kFtran);
+      {
+        // The iteration's ONLY PCIe transfer: one packed descriptor.
+        trace::ScopedSpan op(tr, "ratio", clock, "op");
+        ws.desc.download(std::span<Real>(desc_h.data(), desc_h.size()));
+      }
+      lap_observe(metrics::SimplexOp::kRatio);
+      if (desc_h[kDescQ] < Real{0}) return LoopExit::kOptimal;
+      // Zero-row edge: the ratio kernel is an empty grid (never launched),
+      // so the leaving slots are meaningless — no row can leave.
+      if (ws.m == 0) return LoopExit::kUnbounded;
+      const std::size_t q = static_cast<std::size_t>(desc_h[kDescQ]);
+      const Real d_q = desc_h[kDescDq];
+      const Real theta = desc_h[kDescTheta];
+      if (theta == kInf) return LoopExit::kUnbounded;
+      const std::size_t p = static_cast<std::size_t>(desc_h[kDescP]);
+      const Real alpha_p = desc_h[kDescAlphaP];
+
+      if (record::Recorder* rec = opt_.recorder) {
+        // Ratio ties are counted through host_view() — outside the machine
+        // model, so recording charges no PCIe time and perturbs nothing.
+        const std::span<const Real> rv = ws.ratio.host_view();
+        std::uint32_t ties = 0;
+        for (std::size_t i = 0; i < ws.m; ++i) {
+          if (rv[i] == theta) ++ties;
+        }
+        record::DecisionRecord r;
+        r.phase = phase;
+        r.bland = bland_now ? 1 : 0;
+        r.iteration = stats.iterations;  // global ordinal, pre-increment
+        r.entering = static_cast<std::uint32_t>(q);
+        r.leaving_row = static_cast<std::uint32_t>(p);
+        r.leaving_col = ws.basic[p];
+        r.ratio_ties = ties;
+        r.reduced_cost = static_cast<double>(d_q);
+        r.pivot_value = static_cast<double>(alpha_p);
+        r.theta = static_cast<double>(theta);
+        rec->record_pivot(r);
+      }
+
+      {
+        trace::ScopedSpan op(tr, "update", clock, "op");
+        const std::uint32_t leaving = ws.basic[p];
+        pivot_stage(ws, p, theta);
+        if (ws.options.pricing == PricingRule::kDevex) {
+          ws.at.devex_update(ws.pivot_row, ws.mask, ws.devex_w, q, leaving,
+                             alpha_p);
+        }
+        pivot_apply(ws, q, p, alpha_p, static_cast<Real>(ws.c_host[q]),
+                    leaving, !ws.aug.is_artificial[leaving]);
+        ws.basic[p] = static_cast<std::uint32_t>(q);
+        ws.in_basis[leaving] = false;
+        ws.in_basis[q] = true;
+      }
+      lap_observe(metrics::SimplexOp::kUpdate);
+      ++stats.iterations;
+      om.count_iteration();
+      health.record_pivot(static_cast<double>(alpha_p),
+                          static_cast<double>(theta), bland_now, iter);
+
+      const double dz = static_cast<double>(theta) * static_cast<double>(d_q);
+      const double new_z = z + dz;
+      if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
+        since_improve = 0;
+        bland_mode = false;
+      } else {
+        ++since_improve;
+      }
+      z = new_z;
+      if (tr.enabled()) tr.counter("objective", dev_.sim_seconds(), z);
+
+      ++ws.pivots_since_refactor;
+      const std::size_t period = ws.options.refactor_period;
+      if (period > 0 && ws.pivots_since_refactor >= period) {
+        trace::ScopedSpan op(tr, "refactor", clock, "op");
+        reinvert(ws);
         lap_observe(metrics::SimplexOp::kRefactor);
         if (record::Recorder* rec = opt_.recorder) {
           rec->record_refactor(stats.iterations);

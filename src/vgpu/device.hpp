@@ -194,7 +194,12 @@ class Device {
   void launch_blocks(std::string_view name, std::size_t n,
                      std::size_t block_size, KernelCost cost, F&& body) {
     GS_CHECK_MSG(block_size > 0, "block size must be positive");
-    if (n > 0) {
+    // An empty grid never reaches the device: the CUDA driver rejects a
+    // zero-block launch before submission, so no launch overhead is paid.
+    // Charging here used to inflate kernel_launches on degenerate shapes
+    // (e.g. a zero-row LP's m-wide kernels).
+    if (n == 0) return;
+    {
       const std::size_t blocks = (n + block_size - 1) / block_size;
       if (check_ != nullptr) {
         // Checked path: bracket the launch so footprints recorded by

@@ -40,6 +40,32 @@ template <typename T>
   return (v.size() + Device::kBlockSize - 1) / Device::kBlockSize;
 }
 
+/// Sequential in-block argmin scan over [begin, end): ties resolve to the
+/// smallest index. Shared by vgpu::argmin and the fused simplex selection
+/// kernels (simplex/at_policy.hpp) so both reduce with bit-identical
+/// semantics — the fused path's pivot sequence must match the primitive's.
+template <typename Span>
+[[nodiscard]] std::size_t block_argmin(const Span& data, std::size_t begin,
+                                       std::size_t end) noexcept {
+  std::size_t best = begin;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    if (data[i] < data[best]) best = i;
+  }
+  return best;
+}
+
+/// First index in [begin, end) with data[i] < threshold, or kNoIndex.
+/// Shared by vgpu::find_first_below and the fused Bland selection.
+template <typename Span, typename T>
+[[nodiscard]] std::size_t block_first_below(const Span& data,
+                                            std::size_t begin, std::size_t end,
+                                            T threshold) noexcept {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (data[i] < threshold) return i;
+  }
+  return kNoIndex;
+}
+
 }  // namespace detail
 
 /// Sum of all elements; returns the scalar to the host.
@@ -85,10 +111,7 @@ template <typename T>
       KernelCost{static_cast<double>(v.size()),
                  static_cast<double>(v.size() * sizeof(T)), sizeof(T)},
       [&](std::size_t b, std::size_t begin, std::size_t end) {
-        std::size_t best = begin;
-        for (std::size_t i = begin + 1; i < end; ++i) {
-          if (data[i] < data[best]) best = i;
-        }
+        const std::size_t best = detail::block_argmin(data, begin, end);
         part_idx[b] = best;
         part_val[b] = data[best];
       });
@@ -162,12 +185,7 @@ template <typename T>
       KernelCost{static_cast<double>(v.size()),
                  static_cast<double>(v.size() * sizeof(T)), sizeof(T)},
       [&](std::size_t b, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          if (data[i] < threshold) {
-            part_idx[b] = i;
-            break;
-          }
-        }
+        part_idx[b] = detail::block_first_below(data, begin, end, threshold);
       });
   ArgResult<T> result{};
   dev.launch_blocks(

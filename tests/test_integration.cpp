@@ -190,8 +190,8 @@ TEST(Integration, KernelBreakdownRendering) {
   std::ostringstream os;
   vgpu::print_kernel_breakdown(os, r.stats.device_stats);
   const std::string out = os.str();
-  EXPECT_NE(out.find("price_reduced"), std::string::npos);
-  EXPECT_NE(out.find("update_binv"), std::string::npos);
+  EXPECT_NE(out.find("price_select"), std::string::npos);
+  EXPECT_NE(out.find("pivot_apply"), std::string::npos);
   EXPECT_NE(out.find("(d2h transfers)"), std::string::npos);
 }
 

@@ -154,12 +154,18 @@ TEST(Device, LaunchCoversExactIndexRange) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
-TEST(Device, EmptyLaunchStillChargesOverhead) {
+TEST(Device, EmptyLaunchChargesNothing) {
+  // A zero-block grid never reaches the device (the CUDA driver rejects
+  // it before submission), so an empty launch must not pay overhead —
+  // a zero-row LP edge must not inflate kernel_launches.
   Device dev(gtx280_model());
-  dev.parallel_for("empty", 0, {}, [](std::size_t) {});
-  EXPECT_EQ(dev.stats().kernel_launches, 1u);
-  EXPECT_DOUBLE_EQ(dev.stats().kernel_seconds,
-                   dev.model().launch_overhead_s);
+  dev.parallel_for("empty", 0, {1e6, 1e6, 8}, [](std::size_t) {});
+  dev.launch_blocks("empty_blocks", 0, Device::kBlockSize, {1e6, 1e6, 8},
+                    [](std::size_t, std::size_t, std::size_t) {});
+  EXPECT_EQ(dev.stats().kernel_launches, 0u);
+  EXPECT_DOUBLE_EQ(dev.stats().kernel_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(dev.stats().total_flops, 0.0);
+  EXPECT_TRUE(dev.stats().per_kernel.empty());
 }
 
 TEST(Device, StatsAccumulatePerKernel) {
