@@ -20,6 +20,7 @@
 
 #include "bench/common.hpp"
 #include "bench/per_iter.hpp"
+#include "bench/svc_common.hpp"
 #include "metrics/metrics.hpp"
 #include "trace/chrome_sink.hpp"
 
@@ -31,6 +32,12 @@ using namespace gs;
 // below the full fig1 sweep. The baseline is regenerated with the same
 // sizes (EXPERIMENTS.md), so there is no --quick switch to get wrong.
 constexpr std::size_t kSweepSizes[] = {48, 64, 96, 128};
+// Service-traffic section: K same-shape requests through SolveService vs
+// the sequential device baseline (bench/svc_traffic.cpp). NOTE: the key
+// "speedup_vs_cpu_revised" is reserved for the sweep — DispatchPolicy::
+// from_bench_json pairs it positionally with "m" (service/policy.cpp).
+constexpr std::size_t kServiceSizes[] = {48, 64};
+constexpr std::size_t kServiceTraffic = 64;
 constexpr std::size_t kBreakdownSize = 96;
 constexpr std::size_t kBreakdownCap = 40;
 
@@ -110,6 +117,35 @@ int main(int argc, char** argv) {
     }
     out += "}\n";
     out += (s + 1 < sweep_count) ? "    },\n" : "    }\n";
+  }
+  out += "  ],\n";
+
+  // --- Service traffic: batched dispatch vs one-at-a-time device. -------
+  // req_per_s is a rate key: compare_bench.py fails if it *decreases*
+  // beyond tolerance; the latency keys are gated like any runtime.
+  const std::size_t service_count = tiny ? 1 : std::size(kServiceSizes);
+  out += "  \"service\": [\n";
+  for (std::size_t s = 0; s < service_count; ++s) {
+    const std::size_t size = kServiceSizes[s];
+    const bench::TrafficResult tr =
+        bench::run_same_shape_traffic(size, kServiceTraffic);
+    if (tr.service_seconds <= 0.0) {
+      std::cerr << "service traffic run failed at m=" << size << "\n";
+      return 1;
+    }
+    out += "    {\n";
+    append_kv(out, 6, "m", double(size), true);
+    append_kv(out, 6, "requests", double(kServiceTraffic), true);
+    append_kv(out, 6, "device_seq_ms", tr.baseline_seconds * 1e3, true);
+    append_kv(out, 6, "service_ms", tr.service_seconds * 1e3, true);
+    append_kv(out, 6, "speedup_vs_sequential_device",
+              tr.baseline_seconds / tr.service_seconds, true);
+    append_kv(out, 6, "req_per_s",
+              double(kServiceTraffic) / tr.service_seconds, true);
+    append_kv(out, 6, "latency_p50_ms", tr.p50_seconds * 1e3, true);
+    append_kv(out, 6, "latency_p99_ms", tr.p99_seconds * 1e3, true);
+    append_kv(out, 6, "batch_rounds", double(tr.batch_rounds), false);
+    out += (s + 1 < service_count) ? "    },\n" : "    }\n";
   }
   out += tiny ? "  ]\n" : "  ],\n";
 

@@ -14,6 +14,10 @@ Walks both JSON documents in lockstep and fails (exit 1) when:
   * a runtime field -- any numeric key ending in ``_ms`` or ``_seconds`` --
     regresses by more than the tolerance (default 25%, relative).
     Improvements (candidate faster) always pass;
+  * a throughput field -- any numeric key ending in ``_per_s`` (the
+    service section's ``req_per_s``) -- *decreases* by more than the
+    tolerance: the mirror image of the runtime rule, because for rates
+    higher is better. Improvements (candidate faster) always pass;
   * a launch/transfer budget field -- ``kernel_launches`` or
     ``h2d_bytes`` -- grows by more than the budget tolerance (default 5%,
     relative). These are deterministic counters at fixed seeds, so the
@@ -41,12 +45,17 @@ import json
 import sys
 
 RUNTIME_SUFFIXES = ("_ms", "_seconds")
+RATE_SUFFIXES = ("_per_s",)
 BUDGET_KEYS = ("kernel_launches", "h2d_bytes")
 WARNING_KEYS = ("warnings_total",)
 
 
 def is_runtime_key(key):
     return any(key.endswith(s) for s in RUNTIME_SUFFIXES)
+
+
+def is_rate_key(key):
+    return any(key.endswith(s) for s in RATE_SUFFIXES)
 
 
 def is_warning_key(path):
@@ -121,6 +130,17 @@ def compare(base, cand, tolerance, path=(), failures=None, notes=None,
                 failures.append(
                     f"{fmt(path)}: runtime regression {base:.6g} -> {cand:.6g} "
                     f"(+{(cand - base) / base:.1%} > {tolerance:.0%})")
+            elif base > 0 and abs(cand - base) / base > 1e-9:
+                notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
+                             f"({(cand - base) / base:+.1%})")
+        elif is_rate_key(leaf):
+            # Throughput: higher is better, so a *decrease* beyond the
+            # tolerance is the regression (mirror image of the runtimes).
+            if base > 0 and (base - cand) / base > tolerance:
+                failures.append(
+                    f"{fmt(path)}: throughput regression {base:.6g} -> "
+                    f"{cand:.6g} ({(cand - base) / base:.1%} beyond "
+                    f"-{tolerance:.0%})")
             elif base > 0 and abs(cand - base) / base > 1e-9:
                 notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
                              f"({(cand - base) / base:+.1%})")

@@ -1,0 +1,75 @@
+// Shared service-traffic harness for bench/svc_traffic.cpp and the
+// "service" section of bench/bench_json.cpp: the same seeded workload in
+// both places so the human-readable table and the gated artifact can
+// never drift apart. All quantities are modelled (vgpu sim_seconds);
+// reruns are bit-identical on any host.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/service.hpp"
+
+namespace gs::bench {
+
+/// One same-shape traffic run: K requests of a seeded m x m dense family
+/// pushed through a SolveService, against the one-request-at-a-time
+/// device-engine baseline the paper's small-LP regime would suffer.
+struct TrafficResult {
+  double baseline_seconds = 0.0;  ///< sum of K sequential device solves
+  double service_seconds = 0.0;   ///< service makespan (max latency)
+  double p50_seconds = 0.0;       ///< median per-request latency
+  double p99_seconds = 0.0;       ///< tail per-request latency
+  std::size_t batch_rounds = 0;   ///< rounds the scheduler formed
+};
+
+inline TrafficResult run_same_shape_traffic(std::size_t m, std::size_t k,
+                                            std::uint64_t seed_base = 700) {
+  TrafficResult out;
+  std::vector<lp::LpProblem> problems;
+  problems.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    problems.push_back(lp::random_dense_lp(
+        {.rows = m, .cols = m, .seed = seed_base + i}));
+  }
+
+  for (const lp::LpProblem& p : problems) {
+    out.baseline_seconds +=
+        bench::solve_device(p, vgpu::gtx280_model()).stats.sim_seconds;
+  }
+
+  metrics::MetricsRegistry registry;
+  service::SolveService svc({}, &registry);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(k);
+  for (const lp::LpProblem& p : problems) {
+    service::SolveRequest req;
+    req.problem = p;
+    const service::Ticket t = svc.submit(std::move(req));
+    if (!t.accepted) continue;  // default queue_capacity=256 holds K<=256
+    ids.push_back(t.id);
+  }
+  svc.drain();
+
+  std::vector<double> latencies;
+  latencies.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    const service::ServiceResult& r = svc.result(id);
+    if (!r.solve.optimal()) continue;
+    latencies.push_back(r.latency_seconds);
+    out.service_seconds = std::max(out.service_seconds, r.latency_seconds);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    out.p50_seconds = latencies[(latencies.size() - 1) / 2];
+    out.p99_seconds = latencies[std::min(
+        latencies.size() - 1, (latencies.size() * 99 + 99) / 100 - 1)];
+  }
+  out.batch_rounds =
+      std::size_t(registry.counter("service.batch.rounds").value());
+  return out;
+}
+
+}  // namespace gs::bench

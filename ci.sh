@@ -108,6 +108,11 @@ EOF
   echo "==> perf-smoke (bench_json --tiny vs committed baseline)"
   (cd build && ./bench/bench_json bench_tiny.json --tiny)
   python3 bench/compare_bench.py --subset BENCH_solver.json build/bench_tiny.json
+
+  # Service throughput floor (SERVICE.md): the traffic bench exits 1 if
+  # batched dispatch drops below 10x the sequential device baseline.
+  echo "==> perf-smoke (svc_traffic --tiny throughput floor)"
+  (cd build && ./bench/svc_traffic --tiny)
 else
   echo "==> python3 not installed; skipping bench-json gate"
 fi

@@ -63,14 +63,29 @@
 //                                                        last 64 decisions
 //                                                        + basis snapshot
 //                                                        to the file
+//     --serve-bench[=<requests>:<size>]                  demo the solve
+//                                                        service
+//                                                        (SERVICE.md): push
+//                                                        a same-shape burst
+//                                                        (default 16
+//                                                        requests, m=32)
+//                                                        through
+//                                                        SolveService, show
+//                                                        the dispatch plan,
+//                                                        modeled
+//                                                        throughput/latency
+//                                                        and a warm-cache
+//                                                        repeat
 //
 // Exit code: 0 optimal, 2 infeasible, 3 unbounded, 4 iteration limit,
 // 1 usage/parse error (and replay mismatch / non-comparable diff).
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "lp/generators.hpp"
 #include "lp/lp_text.hpp"
@@ -80,6 +95,7 @@
 #include "lp/standard_form.hpp"
 #include "metrics/metrics.hpp"
 #include "record/record.hpp"
+#include "service/service.hpp"
 #include "simplex/solver.hpp"
 #include "trace/chrome_sink.hpp"
 #include "vgpu/check/check.hpp"
@@ -98,7 +114,8 @@ int usage() {
          "              [--metrics[=out.json]] [--record[=out.gsrec]]\n"
          "              [--replay=in.gsrec] [--post-mortem=out.gsrec]\n"
          "       lp_cli --gen dense:<size>[:seed] [options]\n"
-         "       lp_cli --diff a.gsrec b.gsrec\n";
+         "       lp_cli --diff a.gsrec b.gsrec\n"
+         "       lp_cli --serve-bench[=<requests>:<size>]\n";
   return 1;
 }
 
@@ -159,6 +176,8 @@ int main(int argc, char** argv) {
   bool record_on = false;
   std::string record_path = "lp_cli.gsrec";
   std::string replay_path, post_mortem_path, diff_a, diff_b;
+  bool serve_bench = false;
+  std::string serve_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--presolve") {
@@ -192,6 +211,12 @@ int main(int argc, char** argv) {
     } else if (arg.starts_with("--post-mortem=")) {
       post_mortem_path = arg.substr(std::string("--post-mortem=").size());
       if (post_mortem_path.empty()) return usage();
+    } else if (arg == "--serve-bench") {
+      serve_bench = true;
+    } else if (arg.starts_with("--serve-bench=")) {
+      serve_bench = true;
+      serve_spec = arg.substr(std::string("--serve-bench=").size());
+      if (serve_spec.empty()) return usage();
     } else if (arg == "--diff") {
       // Offline mode: takes two recording operands, no model.
       if (i + 2 >= argc) return usage();
@@ -222,6 +247,106 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
     }
+  }
+
+  // ---- Service demo: a same-shape burst through SolveService. ----
+  if (serve_bench) {
+    std::size_t requests = 16, size = 32;
+    if (!serve_spec.empty()) {
+      const std::size_t colon = serve_spec.find(':');
+      try {
+        requests = std::stoul(serve_spec.substr(0, colon));
+        if (colon != std::string::npos) {
+          size = std::stoul(serve_spec.substr(colon + 1));
+        }
+      } catch (const std::exception&) {
+        return usage();
+      }
+      if (requests == 0 || size < 2) return usage();
+    }
+
+    std::vector<lp::LpProblem> burst;
+    burst.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      burst.push_back(lp::random_dense_lp(
+          {.rows = size, .cols = size, .seed = 700 + i}));
+    }
+    // One-request-at-a-time device baseline: what the burst would cost
+    // without the service's scheduler (the paper's small-LP weakness).
+    double baseline_seconds = 0.0;
+    for (const lp::LpProblem& p : burst) {
+      baseline_seconds +=
+          simplex::solve(p, simplex::Engine::kDeviceRevised)
+              .stats.sim_seconds;
+    }
+
+    metrics::MetricsRegistry reg;
+    service::SolveService svc({}, &reg);
+    std::vector<std::uint64_t> ids;
+    std::size_t accepted = 0;
+    for (const lp::LpProblem& p : burst) {
+      service::SolveRequest req;
+      req.problem = p;
+      const service::Ticket t = svc.submit(std::move(req));
+      if (t.accepted) {
+        ++accepted;
+        ids.push_back(t.id);
+      }
+    }
+    svc.drain();
+
+    std::vector<double> latencies;
+    double makespan = 0.0;
+    bool all_optimal = true;
+    for (const std::uint64_t id : ids) {
+      const service::ServiceResult& r = svc.result(id);
+      all_optimal = all_optimal && r.solve.optimal();
+      latencies.push_back(r.latency_seconds);
+      makespan = std::max(makespan, r.latency_seconds);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = latencies[(latencies.size() - 1) / 2];
+    const double p99 = latencies[std::min(
+        latencies.size() - 1, (latencies.size() * 99 + 99) / 100 - 1)];
+
+    std::cout << "serve-bench: " << requests << " same-shape requests, "
+              << "dense m=" << size << " (crossover_m="
+              << svc.policy().crossover_m << ", batch_target="
+              << svc.policy().batch_target << ")\n"
+              << "  accepted " << accepted << "/" << requests
+              << ", dispatched: "
+              << std::size_t(reg.counter("service.dispatch.batch").value())
+              << " batch / "
+              << std::size_t(reg.counter("service.dispatch.host").value())
+              << " host / "
+              << std::size_t(reg.counter("service.dispatch.device").value())
+              << " device, "
+              << std::size_t(reg.counter("service.batch.rounds").value())
+              << " batch round(s)\n";
+    std::cout << "  modeled: service " << makespan * 1e3
+              << " ms vs sequential device " << baseline_seconds * 1e3
+              << " ms  ->  " << baseline_seconds / makespan << "x\n"
+              << "  throughput " << double(accepted) / makespan
+              << " req/s (modeled), p50 " << p50 * 1e3 << " ms, p99 "
+              << p99 * 1e3 << " ms\n";
+
+    // Warm cache: resubmitting the first request is an exact-digest hit
+    // served from the memoized result, bit-identical to the cold solve.
+    service::SolveRequest repeat;
+    repeat.problem = burst.front();
+    const service::Ticket rt = svc.submit(std::move(repeat));
+    svc.drain();
+    const service::ServiceResult& warm = svc.result(rt.id);
+    const service::ServiceResult& cold = svc.result(ids.front());
+    const bool identical = warm.solve.objective == cold.solve.objective &&
+                           warm.solve.x == cold.solve.x;
+    std::cout << "  warm repeat: route " << service::to_string(warm.route)
+              << ", bit-identical to cold solve: "
+              << (identical ? "yes" : "NO") << "\n";
+    return (all_optimal && warm.route == service::Route::kWarmHit &&
+            identical)
+               ? 0
+               : 1;
   }
 
   const bool generated = flags.contains("gen");

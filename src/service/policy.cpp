@@ -1,0 +1,54 @@
+#include "service/policy.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace gs::service {
+
+namespace {
+
+/// Extract every `"<key>": <number>` occurrence, in document order. A
+/// five-line scanner is all gs-bench-v1 needs (flat numeric fields, no
+/// escaping games); pulling in a JSON parser for one seed value is not
+/// worth a dependency.
+std::vector<double> numbers_for_key(const std::string& text,
+                                    const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtod(text.c_str() + pos, nullptr));
+  }
+  return out;
+}
+
+}  // namespace
+
+DispatchPolicy DispatchPolicy::from_bench_json(const std::string& path) {
+  DispatchPolicy policy;
+  std::ifstream in(path);
+  if (!in.good()) return policy;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  // The sweep lists "m" and "speedup_vs_cpu_revised" once per point, in
+  // the same order; other sections ("breakdown", "service") repeat "m"
+  // without a speedup, so align on the shorter list.
+  const std::vector<double> ms = numbers_for_key(text, "m");
+  const std::vector<double> speedups =
+      numbers_for_key(text, "speedup_vs_cpu_revised");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ms.size() && i < speedups.size(); ++i) {
+    if (speedups[i] >= 1.0 && ms[i] < best) best = ms[i];
+  }
+  if (best != std::numeric_limits<double>::infinity() && best > 0) {
+    policy.crossover_m = static_cast<std::size_t>(best);
+  }
+  return policy;
+}
+
+}  // namespace gs::service

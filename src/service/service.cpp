@@ -1,0 +1,381 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "lp/standard_form.hpp"
+#include "simplex/batch_revised.hpp"
+#include "simplex/phase_setup.hpp"
+#include "simplex/solver.hpp"
+#include "support/error.hpp"
+
+namespace gs::service {
+
+namespace {
+
+/// Bucket ladder for the batch fill-ratio histogram (quarters of a round).
+constexpr double kFillBuckets[] = {0.25, 0.5, 0.75, 1.0};
+
+/// Per-request analysis computed once per drain, before routing.
+struct Item {
+  bool ok = false;          ///< standard form + augmentation succeeded
+  bool observed = false;    ///< request carries its own observers/warm seed
+  bool batchable = false;   ///< slack-startable and unobserved
+  std::size_t m = 0, n_aug = 0;
+  std::uint64_t digest = 0;
+  Route route = Route::kHost;
+  bool served_from_cache = false;
+  std::ptrdiff_t job = -1;   ///< index into the drain's job list
+  std::size_t lane = 0;      ///< position within the job (batch lane)
+  simplex::SolveResult hit_result;  ///< memoized copy for kWarmHit
+};
+
+/// One schedulable unit: a batch round or a single solve.
+struct Job {
+  bool batch = false;
+  bool on_device = false;  ///< shares the modelled device timeline
+  Route route = Route::kHost;
+  std::vector<std::size_t> items;  ///< indices into the drain's item list
+  std::vector<std::uint32_t> warm_basis;  ///< kWarmBasis seed (copy)
+  std::vector<simplex::SolveResult> results;  ///< one per item
+  double sim_seconds = 0.0;  ///< modelled engine time of the whole job
+  double start_seconds = 0.0;  ///< modelled start on its timeline
+};
+
+}  // namespace
+
+SolveService::SolveService(DispatchPolicy policy,
+                           metrics::MetricsRegistry* metrics,
+                           vgpu::MachineModel device_model,
+                           vgpu::MachineModel host_model)
+    : policy_(policy),
+      metrics_(metrics),
+      device_model_(std::move(device_model)),
+      host_model_(std::move(host_model)) {}
+
+Ticket SolveService::submit(SolveRequest request) {
+  std::lock_guard lock(mutex_);
+  Ticket ticket;
+  if (request.deadline_seconds <= 0.0) {
+    ticket.reason = RejectReason::kDeadlineExpired;
+  } else if (pending_.size() >= policy_.queue_capacity) {
+    ticket.reason = RejectReason::kQueueFull;
+  } else {
+    ticket.accepted = true;
+    ticket.id = next_id_++;
+    pending_.push_back(Pending{ticket.id, std::move(request)});
+  }
+  if (metrics_ != nullptr) {
+    if (ticket.accepted) {
+      metrics_->counter("service.accepted").inc();
+    } else {
+      metrics_->counter("service.rejected").inc();
+      metrics_
+          ->counter(std::string("service.rejected.") +
+                    std::string(to_string(ticket.reason)))
+          .inc();
+    }
+    metrics_->gauge("service.queue_depth")
+        .set(static_cast<double>(pending_.size()));
+  }
+  return ticket;
+}
+
+std::size_t SolveService::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t SolveService::warm_cache_size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+const ServiceResult& SolveService::result(std::uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = results_.find(id);
+  GS_CHECK_MSG(it != results_.end(),
+               "service: unknown or not-yet-drained request id");
+  return it->second;
+}
+
+void SolveService::drain() {
+  std::vector<Pending> work;
+  {
+    std::lock_guard lock(mutex_);
+    work.swap(pending_);
+    if (metrics_ != nullptr) metrics_->gauge("service.queue_depth").set(0.0);
+  }
+  if (work.empty()) return;
+
+  // ---- Analysis: shape, digest and batchability, in submission order. ----
+  std::vector<Item> items(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const SolveRequest& req = work[i].request;
+    Item& it = items[i];
+    bool slack_startable = false;
+    try {
+      const lp::StandardFormLp sf = lp::to_standard_form(req.problem);
+      const simplex::AugmentedLp aug = simplex::augment(sf);
+      it.m = aug.m;
+      it.n_aug = aug.n_aug;
+      it.digest = simplex::decision_digest(aug);
+      slack_startable = aug.num_artificial == 0;
+      it.ok = true;
+    } catch (const gs::Error&) {
+      it.ok = false;  // malformed request: dispatched cold, fails in-engine
+    }
+    const simplex::SolverOptions& o = req.options;
+    it.observed = o.trace_sink != nullptr || o.checker != nullptr ||
+                  o.metrics != nullptr || o.recorder != nullptr ||
+                  o.warm_basis != nullptr;
+    it.batchable = it.ok && slack_startable && !it.observed;
+  }
+
+  // ---- Scheduling + dispatch (cache reads need the lock). ----
+  std::vector<Job> jobs;
+  const bool cache_on = policy_.warm_cache_capacity > 0;
+  {
+    std::lock_guard lock(mutex_);
+    // Exact-digest repeats are served from the memoized result and leave
+    // the scheduling problem entirely. Observed requests always run so
+    // their per-request observers see a real solve.
+    for (Item& it : items) {
+      if (!cache_on || !it.ok || it.observed) continue;
+      const auto hit =
+          std::find_if(cache_.begin(), cache_.end(), [&](const CacheEntry& e) {
+            return e.digest == it.digest;
+          });
+      if (hit == cache_.end()) continue;
+      it.route = Route::kWarmHit;
+      it.served_from_cache = true;
+      it.hit_result = hit->result;
+      std::rotate(cache_.begin(), hit, hit + 1);  // refresh LRU
+    }
+
+    // Same-shape packing: slack-startable groups of at least
+    // batch_min_fill become batch rounds of up to batch_target lanes;
+    // the trailing partial round is flushed, not starved.
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+        groups;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].batchable && !items[i].served_from_cache) {
+        groups[{items[i].m, items[i].n_aug}].push_back(i);
+      }
+    }
+    for (const auto& [shape, members] : groups) {
+      if (members.size() < policy_.batch_min_fill) continue;
+      for (std::size_t lo = 0; lo < members.size();
+           lo += policy_.batch_target) {
+        const std::size_t hi =
+            std::min(members.size(), lo + policy_.batch_target);
+        Job job;
+        job.batch = true;
+        job.on_device = true;
+        job.route = Route::kBatch;
+        job.items.assign(members.begin() + std::ptrdiff_t(lo),
+                         members.begin() + std::ptrdiff_t(hi));
+        for (std::size_t lane = 0; lane < job.items.size(); ++lane) {
+          items[job.items[lane]].job = std::ptrdiff_t(jobs.size());
+          items[job.items[lane]].lane = lane;
+          items[job.items[lane]].route = Route::kBatch;
+        }
+        jobs.push_back(std::move(job));
+      }
+    }
+
+    // Crossover-aware singles, in submission order. A cached optimal
+    // basis of the same shape (different digest: a perturbed repeat)
+    // routes to the host engine as a warm start; otherwise the measured
+    // crossover decides host vs device.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Item& it = items[i];
+      if (it.served_from_cache || it.job >= 0) continue;
+      Job job;
+      job.items.push_back(i);
+      if (cache_on && it.ok && !it.observed) {
+        const auto family = std::find_if(
+            cache_.begin(), cache_.end(), [&](const CacheEntry& e) {
+              return e.m == it.m && e.n_aug == it.n_aug &&
+                     e.digest != it.digest && !e.result.basis.empty();
+            });
+        if (family != cache_.end()) {
+          job.route = Route::kWarmBasis;
+          job.warm_basis = family->result.basis;
+        }
+      }
+      if (job.route != Route::kWarmBasis) {
+        job.route = (it.ok && it.m >= policy_.crossover_m) ? Route::kDevice
+                                                           : Route::kHost;
+      }
+      job.on_device = job.route == Route::kDevice;
+      it.job = std::ptrdiff_t(jobs.size());
+      it.lane = 0;
+      it.route = job.route;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // ---- Execute. Each job owns a fresh Device / meter, so jobs are
+  // independent and the worker count is a pure wall-clock knob. ----
+  const auto run_job = [&](Job& job) {
+    try {
+      if (job.batch) {
+        std::vector<lp::LpProblem> round;
+        round.reserve(job.items.size());
+        for (const std::size_t i : job.items) {
+          round.push_back(work[i].request.problem);
+        }
+        vgpu::Device dev(device_model_);
+        // Batchable requests carry no observers; the round runs with the
+        // first member's numeric options (tolerances, iteration cap).
+        simplex::BatchRevisedSimplex<double> engine(
+            dev, work[job.items.front()].request.options);
+        job.results = engine.solve(round);
+      } else {
+        const Pending& p = work[job.items.front()];
+        simplex::SolverOptions opt = p.request.options;
+        simplex::Engine engine = simplex::Engine::kHostRevised;
+        if (job.route == Route::kDevice) {
+          engine = simplex::Engine::kDeviceRevised;
+        }
+        if (job.route == Route::kWarmBasis) opt.warm_basis = &job.warm_basis;
+        job.results.push_back(simplex::solve(p.request.problem, engine, opt,
+                                             device_model_, host_model_));
+      }
+      job.sim_seconds = job.results.front().stats.sim_seconds;
+    } catch (const gs::Error&) {
+      // Engine-level failure: every lane reports numerical trouble (the
+      // default-constructed status) rather than taking the service down.
+      job.results.assign(job.items.size(), simplex::SolveResult{});
+      job.sim_seconds = 0.0;
+    }
+  };
+  if (policy_.workers > 1 && jobs.size() > 1) {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const std::size_t n_threads = std::min(policy_.workers, jobs.size());
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= jobs.size()) break;
+          run_job(jobs[i]);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  } else {
+    for (Job& job : jobs) run_job(job);
+  }
+
+  // ---- Modelled timeline: one device, max(1, workers) host lanes,
+  // stamped in scheduling order — deterministic for any worker count. ----
+  double device_clock = 0.0;
+  std::vector<double> host_lanes(std::max<std::size_t>(1, policy_.workers),
+                                 0.0);
+  for (Job& job : jobs) {
+    if (job.on_device) {
+      job.start_seconds = device_clock;
+      device_clock += job.sim_seconds;
+    } else {
+      const auto lane =
+          std::min_element(host_lanes.begin(), host_lanes.end());
+      job.start_seconds = *lane;
+      *lane += job.sim_seconds;
+    }
+  }
+
+  // ---- Publish results, service metrics and warm-cache updates. ----
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Item& it = items[i];
+    ServiceResult sr;
+    sr.digest = it.digest;
+    sr.route = it.route;
+    if (it.served_from_cache) {
+      sr.solve = std::move(it.hit_result);
+      // A hit performs no solve: the memoized result is returned at zero
+      // modelled cost (its stats still describe the original cold solve).
+    } else {
+      Job& job = jobs[std::size_t(it.job)];
+      sr.solve = std::move(job.results[it.lane]);
+      sr.batch_lanes = job.batch ? job.items.size() : 0;
+      sr.queue_seconds = job.start_seconds;
+      sr.engine_seconds = job.sim_seconds;
+      sr.latency_seconds = job.start_seconds + job.sim_seconds;
+    }
+    sr.deadline_missed =
+        sr.latency_seconds > work[i].request.deadline_seconds;
+
+    if (metrics_ != nullptr) {
+      switch (sr.route) {
+        case Route::kHost:
+          metrics_->counter("service.dispatch.host").inc();
+          break;
+        case Route::kDevice:
+          metrics_->counter("service.dispatch.device").inc();
+          break;
+        case Route::kBatch:
+          metrics_->counter("service.dispatch.batch").inc();
+          break;
+        case Route::kWarmHit:
+          metrics_->counter("service.warm.hit").inc();
+          break;
+        case Route::kWarmBasis:
+          metrics_->counter("service.dispatch.warm-basis").inc();
+          break;
+      }
+      if (cache_on && it.ok && !it.observed &&
+          sr.route != Route::kWarmHit) {
+        metrics_->counter("service.warm.miss").inc();
+      }
+      if (sr.route == Route::kWarmBasis && !sr.solve.stats.warm_started) {
+        metrics_->counter("service.warm.fallback").inc();
+      }
+      if (sr.deadline_missed) {
+        metrics_->counter("service.deadline.missed").inc();
+      }
+      metrics_->histogram("service.queue_seconds", metrics::seconds_buckets())
+          .observe(sr.queue_seconds);
+      metrics_
+          ->histogram("service.latency_seconds", metrics::seconds_buckets())
+          .observe(sr.latency_seconds);
+    }
+
+    // Every optimal solve (cold or warm-started) refreshes the cache so
+    // the next exact repeat is a hit and the next perturbed repeat has a
+    // fresh basis to start from.
+    if (cache_on && it.ok && !it.served_from_cache && sr.solve.optimal() &&
+        !sr.solve.basis.empty()) {
+      const auto existing = std::find_if(
+          cache_.begin(), cache_.end(),
+          [&](const CacheEntry& e) { return e.digest == it.digest; });
+      if (existing != cache_.end()) cache_.erase(existing);
+      cache_.insert(cache_.begin(),
+                    CacheEntry{it.digest, it.m, it.n_aug, sr.solve});
+      while (cache_.size() > policy_.warm_cache_capacity) {
+        cache_.pop_back();
+        if (metrics_ != nullptr) {
+          metrics_->counter("service.warm.evict").inc();
+        }
+      }
+    }
+
+    results_[work[i].id] = std::move(sr);
+  }
+  if (metrics_ != nullptr) {
+    for (const Job& job : jobs) {
+      if (!job.batch) continue;
+      metrics_->counter("service.batch.rounds").inc();
+      metrics_->histogram("service.batch.fill", kFillBuckets)
+          .observe(double(job.items.size()) /
+                   double(std::max<std::size_t>(1, policy_.batch_target)));
+    }
+  }
+}
+
+}  // namespace gs::service

@@ -479,6 +479,8 @@ class BatchRevisedSimplex {
                       SolveStatus status, std::size_t iterations) {
     result.status = status;
     result.stats.iterations = iterations;
+    result.basis.assign(basic_h.begin() + std::ptrdiff_t(k * m),
+                        basic_h.begin() + std::ptrdiff_t((k + 1) * m));
     std::vector<Real> beta_k(m);
     beta.download(std::span<Real>(beta_k), k * m);
     std::vector<double> x_std(aug.n, 0.0);

@@ -97,6 +97,7 @@ class DeviceRevisedSimplex {
                        opt_.metrics ? opt_.metrics->warnings_total() : 0,
                        ws.basic);
       }
+      result.basis = ws.basic;
       return finish(result, status, wall);
     };
     std::size_t budget = opt_.max_iterations;

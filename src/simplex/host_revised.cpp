@@ -12,6 +12,7 @@
 #include "support/timer.hpp"
 #include "trace/trace.hpp"
 #include "vblas/containers.hpp"
+#include "vblas/host_ref.hpp"
 
 namespace gs::simplex {
 
@@ -304,6 +305,53 @@ void sample_health(const State& s, metrics::HealthMonitor& health,
   return ties;
 }
 
+/// Install a caller-provided warm-start basis: gather the basis columns
+/// from A, invert B (Gauss-Jordan, charged as one `warm_init` step), and
+/// accept iff the basis is valid and primal feasible (B⁻¹b ≥ 0). On any
+/// failure the crash basis stays installed and the solve proceeds cold.
+[[nodiscard]] bool try_warm_start(State& s,
+                                  const std::vector<std::uint32_t>& basis) {
+  if (basis.size() != s.m) return false;
+  std::vector<bool> used(s.n_aug, false);
+  for (std::uint32_t col : basis) {
+    if (col >= s.n_aug || s.aug.is_artificial[col] || used[col]) return false;
+    used[col] = true;
+  }
+  vblas::Matrix<double> b_mat(s.m, s.m);
+  for (std::size_t j = 0; j < s.m; ++j) {
+    for (std::size_t i = 0; i < s.m; ++i) b_mat(i, j) = s.at(basis[j], i);
+  }
+  vblas::Matrix<double> binv;
+  try {
+    binv = vblas::ref::invert(std::move(b_mat));
+  } catch (const gs::Error&) {
+    return false;  // singular basis: stale snapshot of a different family
+  }
+  std::vector<double> beta(s.m, 0.0);
+  for (std::size_t i = 0; i < s.m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < s.m; ++j) acc += binv(i, j) * s.aug.b[j];
+    beta[i] = acc;
+  }
+  for (const double v : beta) {
+    if (v < -1e-9) return false;  // primal infeasible here: cold solve
+  }
+  for (double& v : beta) {
+    if (v < 0.0) v = 0.0;
+  }
+  s.binv = std::move(binv);
+  s.beta = std::move(beta);
+  s.basic.assign(basis.begin(), basis.end());
+  std::fill(s.in_basis.begin(), s.in_basis.end(), false);
+  for (const std::uint32_t col : s.basic) s.in_basis[col] = true;
+  // One dense m×m inversion + the B⁻¹b product, on the host roofline.
+  s.meter.charge("warm_init",
+                 2.0 * double(s.m) * double(s.m) * double(s.m) +
+                     2.0 * double(s.m) * double(s.m),
+                 double((3 * s.m * s.m + 2 * s.m) * sizeof(double)));
+  return true;
+}
+
 enum class LoopExit { kOptimal, kUnbounded, kIterationLimit };
 
 LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
@@ -460,6 +508,7 @@ SolveResult HostRevisedSimplex::solve_standard(
   SolveResult result;
   auto finish = [&](SolveStatus status) -> SolveResult {
     result.status = status;
+    result.basis = state.basic;
     result.stats.wall_seconds = wall.seconds();
     result.stats.device_stats = meter.stats();
     result.stats.sim_seconds = meter.sim_seconds();
@@ -471,8 +520,15 @@ SolveResult HostRevisedSimplex::solve_standard(
     return result;
   };
 
+  // Warm start: a feasible caller-provided basis replaces the crash basis
+  // and skips phase 1 outright (feasibility is what phase 1 buys).
+  if (options_.warm_basis != nullptr) {
+    trace::ScopedSpan warm_span(tr, "warm_init", clock, "phase");
+    result.stats.warm_started = try_warm_start(state, *options_.warm_basis);
+  }
+
   std::size_t budget = options_.max_iterations;
-  if (aug.num_artificial > 0) {
+  if (aug.num_artificial > 0 && !result.stats.warm_started) {
     trace::ScopedSpan phase_span(tr, "phase1", clock, "phase");
     if (rec != nullptr) rec->begin_phase(1);
     state.c = aug.c_phase1;

@@ -159,6 +159,18 @@ struct SolverOptions {
   /// the same guarantee the trace sink, checker and metrics registry give.
   /// Borrowed, not owned; must outlive the solve.
   record::Recorder* recorder = nullptr;
+
+  /// Optional warm-start basis (SERVICE.md, "Warm-start cache"): one
+  /// augmented column index per row, typically a prior optimal
+  /// `SolveResult::basis` of the same or a perturbed instance. The host
+  /// engine builds B from these columns, inverts it (charged as one
+  /// `warm_init` step on the cost meter) and starts phase 2 from it iff
+  /// the basis is valid (square, non-artificial, distinct, nonsingular)
+  /// and primal feasible (B⁻¹b ≥ 0); otherwise it falls back to the cold
+  /// crash basis and `SolverStats::warm_started` stays false. Device and
+  /// batch engines ignore it (the service routes warm-startable requests
+  /// to the host engine). Borrowed, not owned; must outlive the solve.
+  const std::vector<std::uint32_t>* warm_basis = nullptr;
 };
 
 /// Per-phase and aggregate counters.
@@ -168,6 +180,9 @@ struct SolverStats {
   double wall_seconds = 0.0;          ///< measured host wall time
   double sim_seconds = 0.0;           ///< modelled machine time
   vgpu::DeviceStats device_stats;     ///< per-kernel breakdown (device engines)
+  /// True iff the solve started from SolverOptions::warm_basis (the basis
+  /// validated as feasible and phase 1 was skipped); false on fallback.
+  bool warm_started = false;
 };
 
 /// Post-optimal sensitivity ranges (HostRevisedSimplex with
@@ -193,6 +208,12 @@ struct SolveResult {
   std::vector<double> y;
   /// Sensitivity ranges; present iff requested and the solve was optimal.
   std::optional<RangingInfo> ranging;
+  /// Final basis snapshot: the augmented column basic in each row, the
+  /// same layout a Recording's basis field uses. Exported by the host,
+  /// device and batch engines; feed it back through
+  /// `SolverOptions::warm_basis` to warm-start a repeat or perturbed
+  /// solve (SERVICE.md). Meaningful as a warm-start seed iff optimal.
+  std::vector<std::uint32_t> basis;
   SolverStats stats;
 
   [[nodiscard]] bool optimal() const noexcept {

@@ -115,8 +115,8 @@ TEST(Docs, EveryMarkdownCrossReferenceResolves) {
 
 TEST(Docs, CoreDocumentsExist) {
   const fs::path root(GS_SOURCE_DIR);
-  for (const char* name :
-       {"README.md", "DESIGN.md", "OBSERVABILITY.md", "ROADMAP.md"}) {
+  for (const char* name : {"README.md", "DESIGN.md", "OBSERVABILITY.md",
+                           "ROADMAP.md", "SERVICE.md"}) {
     EXPECT_TRUE(fs::exists(root / name)) << name << " missing";
   }
 }
