@@ -21,6 +21,8 @@
 #include "bench/common.hpp"
 #include "bench/per_iter.hpp"
 #include "bench/svc_common.hpp"
+#include "simplex/batch_revised.hpp"
+#include "vgpu/analyze/analyze.hpp"
 #include "metrics/metrics.hpp"
 #include "trace/chrome_sink.hpp"
 
@@ -39,6 +41,9 @@ constexpr std::size_t kSweepSizes[] = {48, 64, 96, 128};
 constexpr std::size_t kServiceSizes[] = {48, 64};
 constexpr std::size_t kServiceTraffic = 64;
 constexpr std::size_t kBreakdownSize = 96;
+// Memory section: buffer-lifetime budget captured by the static analyzer.
+constexpr std::size_t kMemorySize = 64;
+constexpr std::size_t kMemoryBatchK = 8;
 constexpr std::size_t kBreakdownCap = 40;
 
 void append_kv(std::string& out, int indent, std::string_view key,
@@ -147,7 +152,71 @@ int main(int argc, char** argv) {
     append_kv(out, 6, "batch_rounds", double(tr.batch_rounds), false);
     out += (s + 1 < service_count) ? "    },\n" : "    }\n";
   }
-  out += tiny ? "  ]\n" : "  ],\n";
+  out += "  ],\n";
+
+  // --- Buffer-lifetime budget per engine (static analyzer capture). -----
+  // peak_live_bytes / alloc_count are BUDGET_KEYS in compare_bench.py:
+  // deterministic at fixed seeds, gated with the tight 5% band. This is
+  // the arena-allocator baseline (ROADMAP item 5) — churn regressions
+  // show up here before any allocator work lands. Runs in --tiny too:
+  // the capture is cheap and the counts are size-dependent, not
+  // subset-able, so tiny and full must agree exactly.
+  {
+    const auto mem_problem = lp::random_dense_lp(
+        {.rows = kMemorySize, .cols = kMemorySize, .seed = 1});
+    const auto mem_sparse = lp::random_sparse_lp({.rows = kMemorySize,
+                                                  .cols = 4 * kMemorySize,
+                                                  .density = 0.05,
+                                                  .seed = 1});
+    out += "  \"memory\": {\n";
+    append_kv(out, 4, "m", double(kMemorySize), true);
+    const auto emit = [&](std::string_view key,
+                          const vgpu::analyze::Report& rep, bool comma) {
+      out += "    ";
+      metrics::json_write_string(out, key);
+      out += ": {\n";
+      append_kv(out, 6, "peak_live_bytes", double(rep.peak_live_bytes), true);
+      append_kv(out, 6, "alloc_count", double(rep.alloc_count), false);
+      out += comma ? "    },\n" : "    }\n";
+    };
+    const auto capture_single = [&](bool use_float) {
+      vgpu::analyze::CaptureLog cap;
+      simplex::SolverOptions opt;
+      opt.analyzer = &cap;
+      if (use_float) {
+        (void)bench::solve_device_float(mem_problem, vgpu::gtx280_model(),
+                                        opt);
+      } else {
+        (void)bench::solve_device(mem_problem, vgpu::gtx280_model(), opt);
+      }
+      return vgpu::analyze::analyze(cap);
+    };
+    emit("device_revised", capture_single(false), true);
+    emit("device_revised_float", capture_single(true), true);
+    {
+      vgpu::analyze::CaptureLog cap;
+      simplex::SolverOptions opt;
+      opt.analyzer = &cap;
+      (void)simplex::solve(mem_sparse, simplex::Engine::kSparseRevised, opt,
+                           vgpu::gtx280_model());
+      emit("sparse_revised", vgpu::analyze::analyze(cap), true);
+    }
+    {
+      std::vector<lp::LpProblem> round;
+      for (std::uint64_t s = 1; s <= kMemoryBatchK; ++s) {
+        round.push_back(lp::random_dense_lp(
+            {.rows = kMemorySize, .cols = kMemorySize, .seed = s}));
+      }
+      vgpu::analyze::CaptureLog cap;
+      simplex::SolverOptions opt;
+      opt.analyzer = &cap;
+      vgpu::Device dev(vgpu::gtx280_model());
+      simplex::BatchRevisedSimplex<double> engine(dev, opt);
+      (void)engine.solve(round);
+      emit("batch_revised", vgpu::analyze::analyze(cap), false);
+    }
+    out += tiny ? "  }\n" : "  },\n";
+  }
 
   // --- Tab.1-style per-operation breakdown at a fixed iteration cap. ----
   if (!tiny) {

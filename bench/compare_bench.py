@@ -5,8 +5,9 @@ Usage: compare_bench.py BASELINE CANDIDATE [--tolerance FRAC]
                         [--budget-tolerance FRAC] [--subset]
 
 Exit codes: 0 = within bands, 1 = regression/structure failure, 2 = usage
-error (missing or malformed input file) -- so CI can tell "the candidate
-got slower" apart from "the gate never ran".
+error (missing or malformed input file, or a baseline that predates a
+top-level section the candidate has and must be regenerated) -- so CI can
+tell "the candidate got slower" apart from "the gate never ran".
 
 Walks both JSON documents in lockstep and fails (exit 1) when:
   * the structure diverges (missing/extra keys, list-length mismatch,
@@ -18,12 +19,14 @@ Walks both JSON documents in lockstep and fails (exit 1) when:
     service section's ``req_per_s``) -- *decreases* by more than the
     tolerance: the mirror image of the runtime rule, because for rates
     higher is better. Improvements (candidate faster) always pass;
-  * a launch/transfer budget field -- ``kernel_launches`` or
-    ``h2d_bytes`` -- grows by more than the budget tolerance (default 5%,
-    relative). These are deterministic counters at fixed seeds, so the
-    band is deliberately tight: a new per-iteration launch or upload is a
-    design regression (the fusion work in the device engine exists to
-    drive them DOWN), not model noise. Improvements always pass;
+  * a launch/transfer/memory budget field -- ``kernel_launches``,
+    ``h2d_bytes``, ``peak_live_bytes`` or ``alloc_count`` -- grows by more
+    than the budget tolerance (default 5%, relative). These are
+    deterministic counters at fixed seeds, so the band is deliberately
+    tight: a new per-iteration launch, upload, or allocation is a design
+    regression (the fusion work exists to drive the first two DOWN; the
+    "memory" section is the arena-allocator baseline for the last two),
+    not model noise. Improvements always pass;
   * any health-warning count (``warnings_total`` or an entry under
     ``warnings_by_kind``) increases. Warnings disappearing is fine;
     new numerical-health noise at fixed seeds is not.
@@ -46,7 +49,8 @@ import sys
 
 RUNTIME_SUFFIXES = ("_ms", "_seconds")
 RATE_SUFFIXES = ("_per_s",)
-BUDGET_KEYS = ("kernel_launches", "h2d_bytes")
+BUDGET_KEYS = ("kernel_launches", "h2d_bytes", "peak_live_bytes",
+               "alloc_count")
 WARNING_KEYS = ("warnings_total",)
 
 
@@ -192,6 +196,19 @@ def main():
                   file=sys.stderr)
             return 2
     base, cand = docs
+
+    # A baseline that predates a whole candidate section (e.g. one written
+    # before the "service" or "memory" sections existed) cannot gate it:
+    # that is a stale input, not a regression. Exit 2 with a regeneration
+    # hint so CI distinguishes "refresh the baseline" from "got slower".
+    # Deeper-level candidate-only keys still fail the structural walk.
+    if isinstance(base, dict) and isinstance(cand, dict):
+        stale = sorted(set(cand) - set(base))
+        if stale:
+            print(f"compare_bench: baseline {args.baseline} lacks "
+                  f"section(s) {stale} present in the candidate; "
+                  f"regenerate the baseline (bench_json)", file=sys.stderr)
+            return 2
 
     failures, notes = compare(base, cand, args.tolerance,
                               budget_tolerance=args.budget_tolerance,

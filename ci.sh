@@ -101,6 +101,23 @@ EOF
   [ "${rc}" -eq 1 ] || {
     echo "expected exit 1 on doctored launch budget, got ${rc}"; exit 1; }
 
+  # A baseline that predates a whole candidate section must be reported
+  # as stale (exit 2, "regenerate the baseline"), not as a regression:
+  # CI acts differently on the two (refresh vs investigate).
+  rc=0
+  python3 - <<'EOF' || rc=$?
+import json, subprocess, sys
+doc = json.load(open("BENCH_solver.json"))
+doc.pop("memory")  # pretend the baseline predates the memory section
+json.dump(doc, open("build/bench_stale_base.json", "w"))
+sys.exit(subprocess.run(
+    [sys.executable, "bench/compare_bench.py", "build/bench_stale_base.json",
+     "BENCH_solver.json"],
+    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL).returncode)
+EOF
+  [ "${rc}" -eq 2 ] || {
+    echo "expected exit 2 on stale baseline, got ${rc}"; exit 1; }
+
   # Perf-smoke subset gate: the quick --tiny sweep (first two points, no
   # breakdown) must sit inside the committed baseline's bands when aligned
   # by problem size with --subset. This is the fast path CI runs on every
@@ -116,6 +133,15 @@ EOF
 else
   echo "==> python3 not installed; skipping bench-json gate"
 fi
+
+# Static launch-graph analysis gate (CHECKING.md "Static analysis"): every
+# engine's captured kernel stream — device double/float, fused and
+# unfused, sparse, batch, and a service-style batch round — must carry
+# zero dataflow hazards, zero uninitialized device reads, zero
+# cost-declaration findings, and waste at most 1% of its PCIe traffic on
+# redundant transfers. Exits 1 with the offending report otherwise.
+echo "==> analyze-gate (static dataflow analysis over all engines)"
+(cd build && ./bench/analyze_gate)
 
 # Recorder gates (OBSERVABILITY.md "Recorder"): the byte format carries no
 # timestamps, so record -> record must be byte-identical; record -> replay
@@ -141,8 +167,11 @@ run_config build-asan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=address,undefined
 run_config build-tsan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=thread
 
 if command -v clang-tidy > /dev/null 2>&1; then
-  echo "==> clang-tidy (profile: .clang-tidy)"
-  # Use the Release compile database; header-filter keeps output to our code.
+  echo "==> clang-tidy (profile: .clang-tidy, warnings are errors)"
+  # Use the Release compile database; header-filter keeps output to our
+  # code. The profile sets WarningsAsErrors: '*' — every enabled check is
+  # a curated, fix-worthy diagnostic, so any hit exits non-zero and fails
+  # this stage.
   find src -name '*.cpp' -print0 |
     xargs -0 clang-tidy -p build --quiet
 else

@@ -23,6 +23,15 @@
 //                                                        checked mode (see
 //                                                        CHECKING.md); any
 //                                                        finding exits 1
+//     --analyze[=file.json]                              capture the launch
+//                                                        graph and run the
+//                                                        static analyzer
+//                                                        (CHECKING.md
+//                                                        "Static analysis");
+//                                                        hazards, uninit
+//                                                        reads, cost drift
+//                                                        or >1% dead
+//                                                        transfers exit 1
 //     --metrics[=file.json]                              collect counters/
 //                                                        histograms and
 //                                                        numerical-health
@@ -81,6 +90,7 @@
 // 1 usage/parse error (and replay mismatch / non-comparable diff).
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -98,6 +108,7 @@
 #include "service/service.hpp"
 #include "simplex/solver.hpp"
 #include "trace/chrome_sink.hpp"
+#include "vgpu/analyze/analyze.hpp"
 #include "vgpu/check/check.hpp"
 #include "vgpu/stats_report.hpp"
 
@@ -111,6 +122,7 @@ int usage() {
          "              [--basis B] [--device D] [--max-iters N]\n"
          "              [--presolve] [--scale pow10|geometric] [--duals]\n"
          "              [--stats] [--trace out.json] [--check]\n"
+         "              [--analyze[=out.json]]\n"
          "              [--metrics[=out.json]] [--record[=out.gsrec]]\n"
          "              [--replay=in.gsrec] [--post-mortem=out.gsrec]\n"
          "       lp_cli --gen dense:<size>[:seed] [options]\n"
@@ -171,6 +183,8 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   bool presolve_on = false, duals_on = false, stats_on = false;
   bool ranging_on = false, check_on = false;
+  bool analyze_on = false;
+  std::string analyze_path;
   bool metrics_on = false;
   std::string metrics_path;
   bool record_on = false;
@@ -190,6 +204,14 @@ int main(int argc, char** argv) {
       stats_on = true;
     } else if (arg == "--check") {
       check_on = true;
+    } else if (arg == "--analyze") {
+      // Valueless form (summary to stdout); must be matched before the
+      // generic "--flag value" branch, which would eat the next argument.
+      analyze_on = true;
+    } else if (arg.starts_with("--analyze=")) {
+      analyze_on = true;
+      analyze_path = arg.substr(std::string("--analyze=").size());
+      if (analyze_path.empty()) return usage();
     } else if (arg == "--metrics") {
       // Valueless form (prints to stdout); must be matched before the
       // generic "--flag value" branch, which would eat the next argument.
@@ -402,6 +424,15 @@ int main(int argc, char** argv) {
     if (trace_on) options.trace_sink = &trace_sink;
     vgpu::check::Checker checker;
     if (check_on) options.checker = &checker;
+    vgpu::analyze::CaptureLog capture;
+    if (analyze_on) {
+      if (check_on) {
+        std::cerr << "error: --check and --analyze are mutually exclusive "
+                     "(both consume the device access stream)\n";
+        return 1;
+      }
+      options.analyzer = &capture;
+    }
     metrics::MetricsRegistry registry;
     if (metrics_on) options.metrics = &registry;
     record::Recorder recorder;
@@ -559,6 +590,22 @@ int main(int argc, char** argv) {
                 << " launches analysed (CHECKING.md)\n";
       if (!checker.clean()) {
         std::cerr << "error: kernel-safety findings\n" << checker.report();
+        return 1;
+      }
+    }
+    if (analyze_on) {
+      vgpu::analyze::Report rep = vgpu::analyze::analyze(capture);
+      std::cout << "analyze: " << capture.launches_captured()
+                << " launches captured (CHECKING.md \"Static analysis\")\n"
+                << rep.summary();
+      if (!analyze_path.empty()) {
+        std::ofstream out(analyze_path);
+        out << rep.to_json();
+        std::cout << "analyze: wrote report to " << analyze_path << "\n";
+      }
+      if (!rep.gate_clean()) {
+        std::cerr << "error: launch-graph findings (hazards/uninit/cost "
+                     "drift, or dead transfers over 1% of traffic)\n";
         return 1;
       }
     }

@@ -130,7 +130,7 @@ void SolveService::drain() {
     const simplex::SolverOptions& o = req.options;
     it.observed = o.trace_sink != nullptr || o.checker != nullptr ||
                   o.metrics != nullptr || o.recorder != nullptr ||
-                  o.warm_basis != nullptr;
+                  o.warm_basis != nullptr || o.analyzer != nullptr;
     it.batchable = it.ok && slack_startable && !it.observed;
   }
 

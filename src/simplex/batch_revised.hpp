@@ -45,6 +45,11 @@ class BatchRevisedSimplex {
     WallTimer wall;
     dev_.reset_stats();
     dev_.set_trace(opt_.trace_sink);
+    // Checker and capture are mutually exclusive sinks; detach the
+    // checker first so re-attaching on a reused device can never trip the
+    // exclusivity assert on a stale pointer.
+    dev_.set_checker(nullptr);
+    dev_.set_capture(opt_.analyzer);
     dev_.set_checker(opt_.checker);
     dev_.set_metrics(opt_.metrics);
     dev_.set_recorder(opt_.recorder);

@@ -10,6 +10,7 @@
 #include "metrics/health.hpp"
 #include "record/record.hpp"
 #include "trace/trace.hpp"
+#include "vgpu/analyze/analyze.hpp"
 #include "vgpu/device.hpp"
 
 namespace gs::simplex {
@@ -171,6 +172,20 @@ struct SolverOptions {
   /// batch engines ignore it (the service routes warm-startable requests
   /// to the host engine). Borrowed, not owned; must outlive the solve.
   const std::vector<std::uint32_t>* warm_basis = nullptr;
+
+  /// Optional static-analysis capture log (CHECKING.md, "Static
+  /// analysis"). While attached, the device records every kernel launch,
+  /// PCIe transfer, and buffer alloc/free as a dataflow node; after the
+  /// solve, `analyze::analyze(*analyzer)` reports ordering hazards, dead
+  /// stores, redundant transfers, uninitialized reads, buffer-lifetime
+  /// stats and cost-declaration drift over the whole launch graph
+  /// (`lp_cli --analyze`). Mutually exclusive with `checker` (both consume
+  /// the device's access stream). Host and tableau engines run no device
+  /// stream and ignore it. Null (the default) disables capture: results,
+  /// DeviceStats and iteration paths are bit-identical with and without a
+  /// capture log, the same guarantee every other observer gives.
+  /// Borrowed, not owned; must outlive the solve.
+  vgpu::analyze::CaptureLog* analyzer = nullptr;
 };
 
 /// Per-phase and aggregate counters.

@@ -21,34 +21,55 @@ class DeviceBuffer {
   /// Allocate `n` elements. Contents are zero-initialized — unlike CUDA this
   /// is deterministic by design; callers that need garbage tolerance must
   /// still write before reading.
-  DeviceBuffer(Device& device, std::size_t n)
-      : device_(&device), storage_(n) {}
+  DeviceBuffer(Device& device, std::size_t n) : device_(&device), storage_(n) {
+    notify_alloc();
+  }
 
   /// Allocate and upload in one step (charged as a single H2D copy).
   DeviceBuffer(Device& device, std::span<const T> host)
       : device_(&device), storage_(host.size()) {
+    notify_alloc();
     upload(host);
   }
 
-  DeviceBuffer(DeviceBuffer&&) noexcept = default;
-  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  // Moves hand over the storage (the std::vector move keeps the data
+  // pointer stable, so an attached capture sink's base->buffer identity
+  // survives); the source is left detached so only one handle ever
+  // reports the free. These used to be `= default`, but a defaulted move
+  // assignment would silently destroy the target's storage without the
+  // on_free notification the lifetime analysis depends on.
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : device_(other.device_), storage_(std::move(other.storage_)) {
+    other.device_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      device_ = other.device_;
+      storage_ = std::move(other.storage_);
+      other.device_ = nullptr;
+    }
+    return *this;
+  }
   DeviceBuffer(const DeviceBuffer&) = delete;
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
 
   [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
   [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
   [[nodiscard]] Device& device() const noexcept { return *device_; }
 
   /// Device-side view; by convention only dereferenced inside kernel bodies.
-  /// The returned CheckedSpan carries the device's checker pointer: when a
-  /// checker is attached (CHECKING.md) every element access is recorded
-  /// and bounds-checked; detached, each access is one null test around the
-  /// raw load/store.
+  /// The returned CheckedSpan carries the device's active access sink
+  /// (checker or capture log): when one is attached (CHECKING.md) every
+  /// element access is recorded and bounds-checked; detached, each access
+  /// is one null test around the raw load/store.
   [[nodiscard]] check::CheckedSpan<T> device_span() noexcept {
-    return {storage_.data(), storage_.size(), device_->checker()};
+    return {storage_.data(), storage_.size(), device_->access_sink()};
   }
   [[nodiscard]] check::CheckedSpan<const T> device_span() const noexcept {
-    return {storage_.data(), storage_.size(), device_->checker()};
+    return {storage_.data(), storage_.size(), device_->access_sink()};
   }
 
   /// Instrumentation-only peek at device memory from the host, outside
@@ -77,6 +98,10 @@ class DeviceBuffer {
     std::memcpy(storage_.data() + offset, host.data(),
                 host.size() * sizeof(T));
     device_->account_h2d(host.size() * sizeof(T));
+    if (check::AccessSink* s = device_->access_sink()) {
+      s->on_h2d(storage_.data(), offset * sizeof(T),
+                (offset + host.size()) * sizeof(T), host.data());
+    }
   }
 
   /// Copy device -> host, charging PCIe time. Bounds and zero-byte
@@ -89,6 +114,10 @@ class DeviceBuffer {
     std::memcpy(host.data(), storage_.data() + offset,
                 host.size() * sizeof(T));
     device_->account_d2h(host.size() * sizeof(T));
+    if (check::AccessSink* s = device_->access_sink()) {
+      s->on_d2h(storage_.data(), offset * sizeof(T),
+                (offset + host.size()) * sizeof(T));
+    }
   }
 
   [[nodiscard]] std::vector<T> to_host() const {
@@ -102,6 +131,9 @@ class DeviceBuffer {
   [[nodiscard]] T download_value(std::size_t index) const {
     GS_CHECK_MSG(index < storage_.size(), "download_value out of range");
     device_->account_d2h(sizeof(T));
+    if (check::AccessSink* s = device_->access_sink()) {
+      s->on_d2h(storage_.data(), index * sizeof(T), (index + 1) * sizeof(T));
+    }
     return storage_[index];
   }
 
@@ -110,6 +142,10 @@ class DeviceBuffer {
     GS_CHECK_MSG(index < storage_.size(), "upload_value out of range");
     device_->account_h2d(sizeof(T));
     storage_[index] = value;
+    if (check::AccessSink* s = device_->access_sink()) {
+      s->on_h2d(storage_.data(), index * sizeof(T), (index + 1) * sizeof(T),
+                &value);
+    }
   }
 
   /// Device-to-device copy, charged as one bandwidth-bound kernel.
@@ -130,6 +166,22 @@ class DeviceBuffer {
   }
 
  private:
+  void notify_alloc() {
+    if (check::AccessSink* s = device_->access_sink()) {
+      s->on_alloc(storage_.data(), storage_.size() * sizeof(T), sizeof(T));
+    }
+  }
+
+  /// Report the free to the active sink and detach. Safe to call on
+  /// moved-from handles (device_ == nullptr).
+  void release() noexcept {
+    if (device_ == nullptr) return;
+    if (check::AccessSink* s = device_->access_sink()) {
+      s->on_free(storage_.data());
+    }
+    device_ = nullptr;
+  }
+
   Device* device_;
   std::vector<T> storage_;
 };

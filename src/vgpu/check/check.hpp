@@ -83,7 +83,10 @@ struct CheckConfig {
   /// Lint fires when observed bytes exceed declared bytes by this factor.
   /// Declarations are worst-case dense models, so observed < declared is
   /// legitimate (early-outs, sparsity); under-declaration is the bug.
-  double cost_ratio_tol = 4.0;
+  /// Tightened from 4x to 2x once the static analyzer started
+  /// cross-checking declarations offline (CHECKING.md "Static analysis");
+  /// all shipped kernels hold at 2x.
+  double cost_ratio_tol = 2.0;
   /// Launches whose declared *and* observed traffic are both below this
   /// are ignored by the lint (fixed-size seeds, scalar postludes).
   double cost_min_bytes = 64.0;
@@ -115,12 +118,77 @@ struct Interval {
 
 }  // namespace detail
 
+/// Abstract consumer of the substrate's access stream. `Device`,
+/// `DeviceBuffer`, and `CheckedSpan` funnel every launch boundary, element
+/// footprint, allocation, and transfer through the one sink attached to
+/// the device. Two implementations exist:
+///
+///   * `Checker` (below)            — dynamic per-launch validation;
+///   * `analyze::CaptureLog`        — static launch-graph capture
+///                                    (src/vgpu/analyze, CHECKING.md
+///                                    "Static analysis").
+///
+/// At most one sink is attached at a time, so the zero-overhead-when-off
+/// contract is unchanged: every hook site is a single branch on one
+/// pointer. The lifetime/transfer hooks default to no-ops because the
+/// dynamic checker only cares about in-launch footprints.
+class AccessSink {
+ public:
+  virtual ~AccessSink() = default;
+
+  /// Device calls this before running the launch body across the pool.
+  virtual void begin_launch(std::string_view kernel, double declared_flops,
+                            double declared_bytes, std::size_t threads,
+                            std::size_t block_size) = 0;
+  /// Device calls this after the pool barrier.
+  virtual void end_launch() = 0;
+
+  /// Record a half-open element range [lo, hi). Kernels that operate on
+  /// raw pointers for vectorisation annotate their footprint with
+  /// CheckedSpan::read_range / write_range, which land here.
+  virtual void note_range(const void* base, std::size_t extent, ElemKind kind,
+                          std::size_t elem_size, std::size_t lo,
+                          std::size_t hi, bool is_write) = 0;
+
+  /// Record an out-of-bounds access (checked even outside launches).
+  virtual void note_oob(std::size_t index, std::size_t extent,
+                        bool is_write) = 0;
+
+  // ---- Buffer lifetime + PCIe transfers (DeviceBuffer). ------------------
+  // elem_size lets the capture log report element-typed ranges; bytes may
+  // be zero for empty buffers (still a distinct live allocation).
+  virtual void on_alloc(const void* base, std::size_t bytes,
+                        std::size_t elem_size) {
+    (void)base, (void)bytes, (void)elem_size;
+  }
+  virtual void on_free(const void* base) { (void)base; }
+  /// Host-to-device copy of byte range [lo_byte, hi_byte) into the buffer
+  /// at `base`; `host_data` points at the staged bytes (valid only for the
+  /// duration of the call — hash, don't retain).
+  virtual void on_h2d(const void* base, std::size_t lo_byte,
+                      std::size_t hi_byte, const void* host_data) {
+    (void)base, (void)lo_byte, (void)hi_byte, (void)host_data;
+  }
+  /// Device-to-host copy of byte range [lo_byte, hi_byte).
+  virtual void on_d2h(const void* base, std::size_t lo_byte,
+                      std::size_t hi_byte) {
+    (void)base, (void)lo_byte, (void)hi_byte;
+  }
+
+  /// Record a single-element access from the current block (see
+  /// detail::tls_block). Convenience shim over note_range.
+  void note_access(const void* base, std::size_t extent, ElemKind kind,
+                   std::size_t elem_size, std::size_t index, bool is_write) {
+    note_range(base, extent, kind, elem_size, index, index + 1, is_write);
+  }
+};
+
 /// Records per-block access footprints during a launch and analyses them
 /// when the launch retires. Attach with `Device::set_checker`; the same
 /// checker may outlive many launches and accumulates findings until
 /// `reset()`. Recording is mutex-serialised, so multi-worker pools are
 /// safe (checked mode trades speed for validation).
-class Checker {
+class Checker : public AccessSink {
  public:
   explicit Checker(CheckConfig config = {}) : cfg_(std::move(config)) {}
 
@@ -143,29 +211,20 @@ class Checker {
   /// Device calls this before running the launch body across the pool.
   void begin_launch(std::string_view kernel, double declared_flops,
                     double declared_bytes, std::size_t threads,
-                    std::size_t block_size);
+                    std::size_t block_size) override;
   /// Device calls this after the pool barrier; runs race / NaN / cost
   /// analysis over the recorded footprints, then clears them.
-  void end_launch();
+  void end_launch() override;
 
-  /// Record a single-element access from the current block (see
-  /// detail::tls_block). No-op outside a launch: host-side span accesses
-  /// between launches model the substrate's "unified memory" convenience
-  /// and are not kernel semantics.
-  void note_access(const void* base, std::size_t extent, ElemKind kind,
-                   std::size_t elem_size, std::size_t index, bool is_write) {
-    note_range(base, extent, kind, elem_size, index, index + 1, is_write);
-  }
-
-  /// Record a half-open element range [lo, hi). Kernels that operate on
-  /// raw pointers for vectorisation annotate their footprint with
-  /// CheckedSpan::read_range / write_range, which land here.
+  /// Record a half-open element range [lo, hi). No-op outside a launch:
+  /// host-side span accesses between launches model the substrate's
+  /// "unified memory" convenience and are not kernel semantics.
   void note_range(const void* base, std::size_t extent, ElemKind kind,
                   std::size_t elem_size, std::size_t lo, std::size_t hi,
-                  bool is_write);
+                  bool is_write) override;
 
   /// Record an out-of-bounds access (checked even outside launches).
-  void note_oob(std::size_t index, std::size_t extent, bool is_write);
+  void note_oob(std::size_t index, std::size_t extent, bool is_write) override;
 
  private:
   struct SpanLog {
@@ -232,9 +291,10 @@ class ElemRef {
 };
 
 /// Span over device storage that funnels every element access through an
-/// optional Checker. With no checker attached (`chk_ == nullptr`) each
-/// access costs one predictable branch around the raw load/store —
-/// the zero-overhead-when-off contract shared with the trace sink.
+/// optional AccessSink (the dynamic Checker or the static-analysis
+/// CaptureLog). With no sink attached (`chk_ == nullptr`) each access
+/// costs one predictable branch around the raw load/store — the
+/// zero-overhead-when-off contract shared with the trace sink.
 ///
 /// Kernels that keep raw `data()` pointers in their hot loops (for
 /// vectorisation) declare their footprint in bulk with `read_range` /
@@ -245,8 +305,8 @@ class CheckedSpan {
   using Elem = std::remove_const_t<T>;
 
   CheckedSpan() = default;
-  CheckedSpan(T* data, std::size_t size, Checker* checker)
-      : data_(data), size_(size), chk_(checker) {}
+  CheckedSpan(T* data, std::size_t size, AccessSink* sink)
+      : data_(data), size_(size), chk_(sink) {}
 
   /// Mutable spans convert to const views (mirrors std::span).
   operator CheckedSpan<const Elem>() const  // NOLINT(google-explicit-constructor)
@@ -321,7 +381,7 @@ class CheckedSpan {
 
   T* data_ = nullptr;
   std::size_t size_ = 0;
-  Checker* chk_ = nullptr;
+  AccessSink* chk_ = nullptr;
 };
 
 }  // namespace gs::vgpu::check

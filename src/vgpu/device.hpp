@@ -111,11 +111,38 @@ class Device {
   /// cost-declaration drift. Detached (the default) checking costs one
   /// branch per launch and one per element access — results and stats are
   /// bit-identical either way, the same guarantee the trace sink gives.
-  void set_checker(check::Checker* checker) noexcept { check_ = checker; }
+  void set_checker(check::Checker* checker) {
+    GS_CHECK_MSG(checker == nullptr || capture_ == nullptr,
+                 "checker and capture sink are mutually exclusive");
+    check_ = checker;
+  }
 
-  /// The attached checker, or nullptr. DeviceBuffer stamps this into the
-  /// CheckedSpans it hands out.
+  /// The attached checker, or nullptr.
   [[nodiscard]] check::Checker* checker() const noexcept { return check_; }
+
+  /// Attach (or with nullptr detach) a static-analysis capture sink
+  /// (CHECKING.md, "Static analysis"). While attached, every launch,
+  /// buffer alloc/free, and PCIe transfer is recorded as a node with its
+  /// footprint for offline launch-graph analysis (src/vgpu/analyze).
+  /// Mutually exclusive with the checker — both consume the same access
+  /// stream and at most one sink is consulted per event. Detached (the
+  /// default) capture costs one pointer test per launch/copy and changes
+  /// no result bit or DeviceStats field.
+  void set_capture(check::AccessSink* capture) {
+    GS_CHECK_MSG(capture == nullptr || check_ == nullptr,
+                 "checker and capture sink are mutually exclusive");
+    capture_ = capture;
+  }
+
+  /// The attached capture sink, or nullptr.
+  [[nodiscard]] check::AccessSink* capture() const noexcept { return capture_; }
+
+  /// The active access sink (checker or capture, never both), or nullptr.
+  /// DeviceBuffer stamps this into the CheckedSpans it hands out.
+  [[nodiscard]] check::AccessSink* access_sink() const noexcept {
+    return check_ != nullptr ? static_cast<check::AccessSink*>(check_)
+                             : capture_;
+  }
 
   /// Attach (or with nullptr detach) a metrics registry (OBSERVABILITY.md,
   /// "Metrics"). While attached, every kernel launch updates the aggregate
@@ -201,18 +228,20 @@ class Device {
     if (n == 0) return;
     {
       const std::size_t blocks = (n + block_size - 1) / block_size;
-      if (check_ != nullptr) {
-        // Checked path: bracket the launch so footprints recorded by
-        // CheckedSpans are attributed to this kernel, and stamp the
-        // executing block id into thread-local state for race detection.
-        check_->begin_launch(name, cost.flops, cost.bytes, n, block_size);
+      check::AccessSink* sink = access_sink();
+      if (sink != nullptr) {
+        // Observed path (checker or capture): bracket the launch so
+        // footprints recorded by CheckedSpans are attributed to this
+        // kernel, and stamp the executing block id into thread-local
+        // state for race detection.
+        sink->begin_launch(name, cost.flops, cost.bytes, n, block_size);
         pool_.run_chunks(blocks, [&](std::size_t b) {
           check::detail::tls_block = static_cast<std::uint32_t>(b);
           const std::size_t begin = b * block_size;
           const std::size_t end = std::min(n, begin + block_size);
           body(b, begin, end);
         });
-        check_->end_launch();
+        sink->end_launch();
       } else {
         pool_.run_chunks(blocks, [&](std::size_t b) {
           const std::size_t begin = b * block_size;
@@ -354,6 +383,7 @@ class Device {
   DeviceStats stats_;
   trace::Track trace_;
   check::Checker* check_ = nullptr;  ///< borrowed; see set_checker()
+  check::AccessSink* capture_ = nullptr;  ///< borrowed; see set_capture()
   metrics::MetricsRegistry* metrics_ = nullptr;  ///< borrowed; see set_metrics()
   record::Recorder* recorder_ = nullptr;  ///< borrowed; see set_recorder()
   AggregateMetricRefs agg_;

@@ -116,9 +116,24 @@ TEST(Docs, EveryMarkdownCrossReferenceResolves) {
 TEST(Docs, CoreDocumentsExist) {
   const fs::path root(GS_SOURCE_DIR);
   for (const char* name : {"README.md", "DESIGN.md", "OBSERVABILITY.md",
-                           "ROADMAP.md", "SERVICE.md"}) {
+                           "ROADMAP.md", "SERVICE.md", "CHECKING.md"}) {
     EXPECT_TRUE(fs::exists(root / name)) << name << " missing";
   }
+}
+
+// The static-analyzer contract is documented where its tests say it is:
+// CHECKING.md carries the "Static analysis" section with the report
+// schema name, and README's CLI tour mentions the --analyze flag. These
+// strings are load-bearing (tests/test_analyze.cpp and lp_cli reference
+// them), so their disappearance is a doc regression, not a reword.
+TEST(Docs, StaticAnalysisSectionIsDocumented) {
+  const fs::path root(GS_SOURCE_DIR);
+  const std::string checking = read_file(root / "CHECKING.md");
+  EXPECT_NE(checking.find("## Static analysis"), std::string::npos);
+  EXPECT_NE(checking.find("gs-analyze-v1"), std::string::npos);
+  EXPECT_NE(checking.find("Static vs dynamic"), std::string::npos);
+  const std::string readme = read_file(root / "README.md");
+  EXPECT_NE(readme.find("--analyze"), std::string::npos);
 }
 
 }  // namespace
