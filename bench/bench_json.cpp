@@ -21,6 +21,7 @@
 #include "bench/common.hpp"
 #include "bench/per_iter.hpp"
 #include "bench/svc_common.hpp"
+#include "profile/profile.hpp"
 #include "simplex/batch_revised.hpp"
 #include "vgpu/analyze/analyze.hpp"
 #include "metrics/metrics.hpp"
@@ -45,6 +46,16 @@ constexpr std::size_t kBreakdownSize = 96;
 constexpr std::size_t kMemorySize = 64;
 constexpr std::size_t kMemoryBatchK = 8;
 constexpr std::size_t kBreakdownCap = 40;
+
+// Per-sweep-point roofline summary collected during the sweep loop and
+// emitted later as the "profile" section (the profiler rides the same
+// solve the runtime keys are gated on; it is proven bit-identical-when-
+// attached, so the section costs no extra solves).
+struct ProfilePoint {
+  std::size_t m = 0;
+  double launch_bound_fraction = 0.0;
+  std::vector<std::pair<std::string, double>> top_shares;
+};
 
 void append_kv(std::string& out, int indent, std::string_view key,
                double value, bool trailing_comma) {
@@ -76,6 +87,7 @@ int main(int argc, char** argv) {
   // --- Fig.1/Fig.2-style sweep: three engines on seeded dense LPs. ------
   // Health warnings at these fixed seeds are part of the gated contract:
   // compare_bench.py fails if any warning count *increases* vs baseline.
+  std::vector<ProfilePoint> profile_points;
   out += "  \"sweep\": [\n";
   for (std::size_t s = 0; s < sweep_count; ++s) {
     const std::size_t size = kSweepSizes[s];
@@ -83,8 +95,10 @@ int main(int argc, char** argv) {
         lp::random_dense_lp({.rows = size, .cols = size, .seed = 1});
 
     metrics::MetricsRegistry registry;
+    profile::Profiler prof;
     simplex::SolverOptions opt;
     opt.metrics = &registry;
+    opt.profiler = &prof;
     const auto gpu = bench::solve_device(problem, vgpu::gtx280_model(), opt);
     const auto cpu = simplex::solve(problem, simplex::Engine::kHostRevised);
     const auto tab = simplex::solve(problem, simplex::Engine::kTableau);
@@ -93,6 +107,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto& ds = gpu.stats.device_stats;
+
+    {
+      const profile::ProfileReport rep = prof.report();
+      // The profiler folds the same per-launch roofline times the device
+      // accumulates, in the same order: anything but bit-equality here is
+      // a reconciliation bug, not noise.
+      if (rep.kernel_seconds() != ds.kernel_seconds) {
+        std::cerr << "profile does not reconcile with DeviceStats at m="
+                  << size << "\n";
+        return 1;
+      }
+      ProfilePoint pt;
+      pt.m = size;
+      pt.launch_bound_fraction = rep.launch_bound_fraction;
+      const double total = rep.kernel_seconds();
+      for (std::size_t k = 0; k < rep.kernels.size() && k < 3; ++k) {
+        pt.top_shares.emplace_back(
+            rep.kernels[k].name,
+            total > 0.0 ? rep.kernels[k].seconds / total : 0.0);
+      }
+      profile_points.push_back(std::move(pt));
+    }
 
     out += "    {\n";
     append_kv(out, 6, "m", double(size), true);
@@ -151,6 +187,32 @@ int main(int argc, char** argv) {
     append_kv(out, 6, "latency_p99_ms", tr.p99_seconds * 1e3, true);
     append_kv(out, 6, "batch_rounds", double(tr.batch_rounds), false);
     out += (s + 1 < service_count) ? "    },\n" : "    }\n";
+  }
+  out += "  ],\n";
+
+  // --- Roofline profile of the sweep's device solves. -------------------
+  // launch_bound_fraction and the top-kernel shares are deterministic
+  // ratios of modeled time at fixed seeds; compare_bench.py gates them
+  // with the tight 5% budget band (a kernel drifting between bound
+  // classes, or the hot-kernel mix shifting, is a design change — the
+  // kind the roofline work exists to surface — not noise). m-keyed like
+  // the sweep so --tiny stays a strict subset.
+  out += "  \"profile\": [\n";
+  for (std::size_t s = 0; s < profile_points.size(); ++s) {
+    const ProfilePoint& pt = profile_points[s];
+    out += "    {\n";
+    append_kv(out, 6, "m", double(pt.m), true);
+    append_kv(out, 6, "launch_bound_fraction", pt.launch_bound_fraction,
+              true);
+    out += "      \"top_kernel_share\": {";
+    for (std::size_t k = 0; k < pt.top_shares.size(); ++k) {
+      if (k) out += ", ";
+      metrics::json_write_string(out, pt.top_shares[k].first);
+      out += ": ";
+      metrics::json_write_number(out, pt.top_shares[k].second);
+    }
+    out += "}\n";
+    out += (s + 1 < profile_points.size()) ? "    },\n" : "    }\n";
   }
   out += "  ],\n";
 

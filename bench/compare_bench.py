@@ -27,6 +27,12 @@ Walks both JSON documents in lockstep and fails (exit 1) when:
     regression (the fusion work exists to drive the first two DOWN; the
     "memory" section is the arena-allocator baseline for the last two),
     not model noise. Improvements always pass;
+  * a roofline-profile share -- ``launch_bound_fraction`` or any entry
+    under a ``top_kernel_share`` object (the "profile" section) -- grows
+    by more than the same budget tolerance. These are deterministic
+    ratios of modeled time at fixed seeds: a kernel sliding into the
+    launch-bound class, or the hot-kernel mix concentrating, is a design
+    change the profiler exists to surface. Decreases always pass;
   * any health-warning count (``warnings_total`` or an entry under
     ``warnings_by_kind``) increases. Warnings disappearing is fine;
     new numerical-health noise at fixed seeds is not.
@@ -65,6 +71,12 @@ def is_rate_key(key):
 def is_warning_key(path):
     leaf = path[-1] if path else ""
     return leaf in WARNING_KEYS or (len(path) >= 2 and path[-2] == "warnings_by_kind")
+
+
+def is_profile_share_key(path):
+    leaf = path[-1] if path else ""
+    return leaf == "launch_bound_fraction" or (
+        len(path) >= 2 and path[-2] == "top_kernel_share")
 
 
 def fmt(path):
@@ -152,6 +164,15 @@ def compare(base, cand, tolerance, path=(), failures=None, notes=None,
             if base > 0 and (cand - base) / base > budget_tolerance:
                 failures.append(
                     f"{fmt(path)}: launch/transfer budget regression "
+                    f"{base:.6g} -> {cand:.6g} "
+                    f"(+{(cand - base) / base:.1%} > {budget_tolerance:.0%})")
+            elif cand != base:
+                notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
+                             f"({(cand - base) / base:+.1%})")
+        elif is_profile_share_key(path):
+            if base > 0 and (cand - base) / base > budget_tolerance:
+                failures.append(
+                    f"{fmt(path)}: roofline share regression "
                     f"{base:.6g} -> {cand:.6g} "
                     f"(+{(cand - base) / base:.1%} > {budget_tolerance:.0%})")
             elif cand != base:

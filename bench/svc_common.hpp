@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "profile/profile.hpp"
 #include "service/service.hpp"
+#include "trace/trace.hpp"
 
 namespace gs::bench {
 
@@ -23,10 +25,16 @@ struct TrafficResult {
   double p50_seconds = 0.0;       ///< median per-request latency
   double p99_seconds = 0.0;       ///< tail per-request latency
   std::size_t batch_rounds = 0;   ///< rounds the scheduler formed
+  std::size_t accepted = 0;       ///< requests admitted (profile coverage)
 };
 
-inline TrafficResult run_same_shape_traffic(std::size_t m, std::size_t k,
-                                            std::uint64_t seed_base = 700) {
+/// `trace` / `profiler` (both optional) attach service-level observability
+/// to the run: the same seeded workload, now emitting the shared-timeline
+/// replay and per-request span trees (svc_traffic --trace / --profile).
+inline TrafficResult run_same_shape_traffic(
+    std::size_t m, std::size_t k, std::uint64_t seed_base = 700,
+    trace::TraceSink* trace = nullptr,
+    profile::Profiler* profiler = nullptr) {
   TrafficResult out;
   std::vector<lp::LpProblem> problems;
   problems.reserve(k);
@@ -42,6 +50,8 @@ inline TrafficResult run_same_shape_traffic(std::size_t m, std::size_t k,
 
   metrics::MetricsRegistry registry;
   service::SolveService svc({}, &registry);
+  svc.set_trace(trace);
+  svc.set_profiler(profiler);
   std::vector<std::uint64_t> ids;
   ids.reserve(k);
   for (const lp::LpProblem& p : problems) {
@@ -51,6 +61,7 @@ inline TrafficResult run_same_shape_traffic(std::size_t m, std::size_t k,
     if (!t.accepted) continue;  // default queue_capacity=256 holds K<=256
     ids.push_back(t.id);
   }
+  out.accepted = ids.size();
   svc.drain();
 
   std::vector<double> latencies;

@@ -9,14 +9,53 @@
 // acceptance gate, enforced here and rechecked by compare_bench.py's rate
 // keys (req_per_s must not regress).
 //
-// Usage: svc_traffic [--tiny]
-//   --tiny    single m=48 point for ci.sh perf-smoke (same K=64, same
-//             seeds: the numbers match the full run bit-for-bit).
+// Usage: svc_traffic [--tiny] [--trace[=file]] [--profile[=file]]
+//   --tiny     single m=48 point for ci.sh perf-smoke (same K=64, same
+//              seeds: the numbers match the full run bit-for-bit).
+//   --trace    attach a service-level Chrome trace sink; with =file the
+//              last size's named request-lane timeline is written there.
+//   --profile  attach the roofline profiler per size and decompose the
+//              request p50/p99 into per-stage attribution; exits 1 unless
+//              every admitted request has a span tree whose stage slices
+//              tile its latency to 1e-9 (the coverage + tiling gate ci.sh
+//              runs). With =file the last size's gs-profile-v1 JSON is
+//              written there.
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
 #include "bench/svc_common.hpp"
+#include "trace/chrome_sink.hpp"
+
+namespace {
+
+/// Parse `--name` / `--name=path`: returns whether present, and the path
+/// ("" when the valueless form was used).
+bool optional_path_flag(int argc, char** argv, std::string_view name,
+                        std::string& path) {
+  const std::string eq = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == name) return true;
+    if (arg.starts_with(eq)) {
+      path = std::string(arg.substr(eq.size()));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gs;
   const bool tiny = bench::has_flag(argc, argv, "--tiny");
+  std::string trace_path, profile_path;
+  const bool want_trace =
+      optional_path_flag(argc, argv, "--trace", trace_path);
+  const bool want_profile =
+      optional_path_flag(argc, argv, "--profile", profile_path);
   bench::print_header(
       "Service traffic: K same-shape LPs through SolveService vs "
       "one-at-a-time device solves",
@@ -31,8 +70,16 @@ int main(int argc, char** argv) {
                "req/s (modeled)", "p50 [ms]", "p99 [ms]", "rounds"});
   bool ok = true;
   for (const std::size_t m : sizes) {
-    const bench::TrafficResult r =
-        bench::run_same_shape_traffic(m, kTraffic);
+    // Fresh observers per size: request track ids restart with each
+    // service, so one shared profiler would merge distinct requests.
+    auto chrome = want_trace ? std::make_unique<trace::ChromeTraceSink>()
+                            : nullptr;
+    auto profiler = want_profile ? std::make_unique<profile::Profiler>()
+                                 : nullptr;
+    // The service interposes the profiler over the trace sink itself, so
+    // --trace --profile compose on one stream.
+    const bench::TrafficResult r = bench::run_same_shape_traffic(
+        m, kTraffic, 700, chrome.get(), profiler.get());
     const double speedup = r.baseline_seconds / r.service_seconds;
     table.new_row()
         .add(m)
@@ -49,6 +96,49 @@ int main(int argc, char** argv) {
                 << "x at m=" << m << ", K=" << kTraffic
                 << " (acceptance floor is 10x)\n";
       ok = false;
+    }
+
+    if (profiler) {
+      const profile::ProfileReport rep = profiler->report();
+      const double tiling = rep.max_stage_tiling_error();
+      // Coverage + tiling gate: every admitted request must carry a span
+      // tree, and its stage slices must tile latency to 1e-9.
+      if (rep.requests.size() != r.accepted) {
+        std::cerr << "FAIL: profile covers " << rep.requests.size()
+                  << " of " << r.accepted << " admitted requests at m=" << m
+                  << "\n";
+        ok = false;
+      } else if (tiling > 1e-9) {
+        std::cerr << "FAIL: stage spans miss request latency by " << tiling
+                  << "s at m=" << m << " (budget 1e-9)\n";
+        ok = false;
+      } else {
+        std::cout << "profile: stage spans tile request latency (max error "
+                  << tiling << "s over " << rep.requests.size()
+                  << " requests)\n";
+      }
+      const profile::RequestSummary rs = rep.request_summary();
+      auto print_stages =
+          [](const std::vector<std::pair<std::string, double>>& st) {
+            for (std::size_t i = 0; i < st.size(); ++i) {
+              std::cout << (i ? " + " : "") << st[i].first << " "
+                        << st[i].second * 1e3 << "ms";
+            }
+          };
+      std::cout << "profile: p50 " << rs.p50_seconds * 1e3 << "ms = ";
+      print_stages(rs.p50_stages);
+      std::cout << "\nprofile: p99 " << rs.p99_seconds * 1e3 << "ms = ";
+      print_stages(rs.p99_stages);
+      std::cout << "\n" << rep.table(5);
+      if (m == sizes.back() && !profile_path.empty()) {
+        std::ofstream out(profile_path);
+        out << rep.to_json();
+        std::cout << "profile: wrote " << profile_path << "\n";
+      }
+    }
+    if (chrome && m == sizes.back() && !trace_path.empty()) {
+      chrome->write_file(trace_path);
+      std::cout << "trace: wrote " << trace_path << "\n";
     }
   }
   table.print(std::cout);

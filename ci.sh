@@ -163,6 +163,20 @@ echo "==> recorder round-trip + divergence gates"
     | tee /dev/stderr | grep -q 'diverge at pivot 0'
 )
 
+# Profiler gates (OBSERVABILITY.md "Profiler"): the roofline profiler's
+# kernel totals must reconcile bit-exactly with DeviceStats (lp_cli exits
+# 1 and prints nothing matching the grep otherwise), and every admitted
+# service request must carry a stage span tree that tiles its latency to
+# 1e-9 (svc_traffic exits 1 on a coverage or tiling miss).
+echo "==> profiler reconciliation + request-span tiling gates"
+(
+  cd build
+  ./examples/lp_cli --gen dense:32:11 --profile=ci_profile.json \
+    | grep 'profile: reconciled bit-exactly'
+  ./bench/svc_traffic --tiny --profile \
+    | grep 'stage spans tile'
+)
+
 run_config build-asan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=address,undefined
 run_config build-tsan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=thread
 

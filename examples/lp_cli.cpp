@@ -72,6 +72,25 @@
 //                                                        last 64 decisions
 //                                                        + basis snapshot
 //                                                        to the file
+//     --profile[=out.json]                               roofline profile:
+//                                                        per-kernel/phase
+//                                                        aggregates with
+//                                                        bound classes
+//                                                        (launch/bandwidth/
+//                                                        compute-bound), a
+//                                                        ranked top-N
+//                                                        table, and (with
+//                                                        =file) gs-profile-
+//                                                        v1 JSON plus a
+//                                                        collapsed-stack
+//                                                        .folded flamegraph
+//                                                        next to it; exits
+//                                                        1 unless kernel
+//                                                        totals reconcile
+//                                                        with DeviceStats
+//                                                        bit-exactly. See
+//                                                        OBSERVABILITY.md,
+//                                                        "Profiler"
 //     --serve-bench[=<requests>:<size>]                  demo the solve
 //                                                        service
 //                                                        (SERVICE.md): push
@@ -104,6 +123,7 @@
 #include "lp/scaling.hpp"
 #include "lp/standard_form.hpp"
 #include "metrics/metrics.hpp"
+#include "profile/profile.hpp"
 #include "record/record.hpp"
 #include "service/service.hpp"
 #include "simplex/solver.hpp"
@@ -125,6 +145,7 @@ int usage() {
          "              [--analyze[=out.json]]\n"
          "              [--metrics[=out.json]] [--record[=out.gsrec]]\n"
          "              [--replay=in.gsrec] [--post-mortem=out.gsrec]\n"
+         "              [--profile[=out.json]]\n"
          "       lp_cli --gen dense:<size>[:seed] [options]\n"
          "       lp_cli --diff a.gsrec b.gsrec\n"
          "       lp_cli --serve-bench[=<requests>:<size>]\n";
@@ -189,6 +210,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool record_on = false;
   std::string record_path = "lp_cli.gsrec";
+  bool profile_on = false;
+  std::string profile_path;
   std::string replay_path, post_mortem_path, diff_a, diff_b;
   bool serve_bench = false;
   std::string serve_spec;
@@ -220,6 +243,13 @@ int main(int argc, char** argv) {
       metrics_on = true;
       metrics_path = arg.substr(std::string("--metrics=").size());
       if (metrics_path.empty()) return usage();
+    } else if (arg == "--profile") {
+      // Valueless form (table to stdout); same trap as --metrics.
+      profile_on = true;
+    } else if (arg.starts_with("--profile=")) {
+      profile_on = true;
+      profile_path = arg.substr(std::string("--profile=").size());
+      if (profile_path.empty()) return usage();
     } else if (arg == "--record") {
       // Valueless form (default output file); same trap as --metrics.
       record_on = true;
@@ -435,6 +465,8 @@ int main(int argc, char** argv) {
     }
     metrics::MetricsRegistry registry;
     if (metrics_on) options.metrics = &registry;
+    profile::Profiler profiler;
+    if (profile_on) options.profiler = &profiler;
     record::Recorder recorder;
     const bool replay_on = !replay_path.empty();
     if (replay_on) {
@@ -583,6 +615,48 @@ int main(int argc, char** argv) {
       if (kernel_delta > 1e-9 || transfer_delta > 1e-9) {
         std::cerr << "error: trace does not reconcile with DeviceStats\n";
         return 1;
+      }
+    }
+    if (profile_on) {
+      const profile::ProfileReport rep = profiler.report();
+      // Bit-exact reconciliation: the profiler folds the same slice
+      // durations, in the same emission order, as the engine folds into
+      // DeviceStats — so `==` on doubles, not a tolerance
+      // (OBSERVABILITY.md, "Profiler").
+      const auto& ds = result.stats.device_stats;
+      bool exact = rep.kernel_seconds() == ds.kernel_seconds;
+      std::size_t matched = 0;
+      for (const auto& [name, krec] : ds.per_kernel) {
+        const profile::KernelProfile* kp = rep.find_kernel(name);
+        if (kp == nullptr || kp->seconds != krec.sim_seconds ||
+            kp->calls != krec.launches) {
+          exact = false;
+          break;
+        }
+        ++matched;
+      }
+      if (!exact || matched != rep.kernels.size()) {
+        std::cerr << "error: profile does not reconcile bit-exactly with "
+                     "DeviceStats (total "
+                  << rep.kernel_seconds() << " vs " << ds.kernel_seconds
+                  << " s)\n";
+        return 1;
+      }
+      std::cout << "profile: reconciled bit-exactly with DeviceStats ("
+                << rep.kernels.size() << " kernels, "
+                << rep.kernel_seconds() * 1e3 << " ms modeled, "
+                << "launch-bound fraction " << rep.launch_bound_fraction
+                << ")\n"
+                << rep.table(10);
+      if (!profile_path.empty()) {
+        std::ofstream out(profile_path);
+        out << rep.to_json();
+        const std::string folded = profile_path + ".folded";
+        std::ofstream fg(folded);
+        fg << rep.flamegraph_text();
+        std::cout << "profile: wrote " << profile_path
+                  << " (gs-profile-v1) and " << folded
+                  << " (collapsed stacks)\n";
       }
     }
     if (check_on) {

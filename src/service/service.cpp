@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "lp/standard_form.hpp"
+#include "profile/profile.hpp"
 #include "simplex/batch_revised.hpp"
 #include "simplex/phase_setup.hpp"
 #include "simplex/solver.hpp"
 #include "support/error.hpp"
+#include "trace/chrome_sink.hpp"
 
 namespace gs::service {
 
@@ -42,6 +46,12 @@ struct Job {
   std::vector<simplex::SolveResult> results;  ///< one per item
   double sim_seconds = 0.0;  ///< modelled engine time of the whole job
   double start_seconds = 0.0;  ///< modelled start on its timeline
+  /// Per-job engine-event collector (service tracing only): each job runs
+  /// with a private sink so worker threads never share one, then the drain
+  /// thread replays the events onto the shared timelines in scheduling
+  /// order — deterministic for any worker count.
+  std::unique_ptr<trace::ChromeTraceSink> collect;
+  std::uint32_t host_tid = trace::kEngineTid;  ///< modelled host lane track
 };
 
 }  // namespace
@@ -130,7 +140,8 @@ void SolveService::drain() {
     const simplex::SolverOptions& o = req.options;
     it.observed = o.trace_sink != nullptr || o.checker != nullptr ||
                   o.metrics != nullptr || o.recorder != nullptr ||
-                  o.warm_basis != nullptr || o.analyzer != nullptr;
+                  o.warm_basis != nullptr || o.analyzer != nullptr ||
+                  o.profiler != nullptr;
     it.batchable = it.ok && slack_startable && !it.observed;
   }
 
@@ -218,9 +229,24 @@ void SolveService::drain() {
     }
   }
 
+  // Service-level tracing/profiling: the drain replays engine events and
+  // emits per-request span trees into this sink. The profiler (when
+  // attached) is interposed over the trace sink and both machine models
+  // are bound so the replayed kernel stream classifies correctly.
+  trace::TraceSink* obs =
+      profile::chain(profiler_, trace_sink_, trace::kDevicePid, device_model_);
+  if (profiler_ != nullptr) {
+    profiler_->bind_machine(trace::kHostPid, host_model_);
+  }
+
   // ---- Execute. Each job owns a fresh Device / meter, so jobs are
   // independent and the worker count is a pure wall-clock knob. ----
   const auto run_job = [&](Job& job) {
+    // Observed requests route their events to their own per-request sink;
+    // everything else is collected for the service timelines.
+    if (obs != nullptr && !items[job.items.front()].observed) {
+      job.collect = std::make_unique<trace::ChromeTraceSink>();
+    }
     try {
       if (job.batch) {
         std::vector<lp::LpProblem> round;
@@ -231,12 +257,15 @@ void SolveService::drain() {
         vgpu::Device dev(device_model_);
         // Batchable requests carry no observers; the round runs with the
         // first member's numeric options (tolerances, iteration cap).
-        simplex::BatchRevisedSimplex<double> engine(
-            dev, work[job.items.front()].request.options);
+        simplex::SolverOptions batch_opt =
+            work[job.items.front()].request.options;
+        if (job.collect) batch_opt.trace_sink = job.collect.get();
+        simplex::BatchRevisedSimplex<double> engine(dev, batch_opt);
         job.results = engine.solve(round);
       } else {
         const Pending& p = work[job.items.front()];
         simplex::SolverOptions opt = p.request.options;
+        if (job.collect) opt.trace_sink = job.collect.get();
         simplex::Engine engine = simplex::Engine::kHostRevised;
         if (job.route == Route::kDevice) {
           engine = simplex::Engine::kDeviceRevised;
@@ -285,8 +314,85 @@ void SolveService::drain() {
       const auto lane =
           std::min_element(host_lanes.begin(), host_lanes.end());
       job.start_seconds = *lane;
+      job.host_tid = trace::kEngineTid + static_cast<std::uint32_t>(
+                                             lane - host_lanes.begin());
       *lane += job.sim_seconds;
     }
+  }
+
+  // ---- Service trace/profile emission (drain thread, scheduling order:
+  // deterministic for any worker count). Engine events replay onto the
+  // shared modelled timelines at their stamped offsets; every request gets
+  // a span tree on its own kServicePid track whose stage slices tile
+  // latency_seconds exactly (queued.dur + engine_solve.dur is the same
+  // expression that computes the published latency). ----
+  if (obs != nullptr) {
+    if (!trace_named_) {
+      trace_named_ = true;
+      trace::Track dev_track(obs, trace::kDevicePid, trace::kEngineTid);
+      dev_track.name_process("vgpu: " + device_model_.name);
+      dev_track.name_thread("service device timeline");
+      for (std::size_t k = 0; k < host_lanes.size(); ++k) {
+        trace::Track lane_track(obs, trace::kHostPid,
+                                trace::kEngineTid +
+                                    static_cast<std::uint32_t>(k));
+        lane_track.name_process("cpu: " + host_model_.name);
+        lane_track.name_thread("service host lane " + std::to_string(k));
+      }
+      trace::Track svc_track(obs, trace::kServicePid, 0);
+      svc_track.name_process("service: requests");
+    }
+    for (Job& job : jobs) {
+      if (!job.collect) continue;
+      for (const trace::TraceEvent& ev : job.collect->events()) {
+        // Track naming is emitted once above; per-job metadata would
+        // rename the shared lanes after every job.
+        if (ev.phase == trace::EventPhase::kMetadata) continue;
+        trace::TraceEvent out = ev;
+        out.ts += trace_epoch_ + job.start_seconds;
+        if (out.pid == trace::kHostPid) out.tid = job.host_tid;
+        obs->emit(std::move(out));
+      }
+      job.collect.reset();
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const Item& it = items[i];
+      const std::uint64_t id = work[i].id;
+      trace::Track req(obs, trace::kServicePid,
+                       static_cast<std::uint32_t>(id));
+      req.name_thread("req " + std::to_string(id) + " [" +
+                      std::string(to_string(it.route)) + "]");
+      double latency = 0.0;
+      req.begin("request", trace_epoch_, "request",
+                {{"id", static_cast<double>(id)}});
+      req.instant("admitted", trace_epoch_, "request");
+      if (it.served_from_cache) {
+        req.complete("cache_hit", trace_epoch_, 0.0, "stage",
+                     {{"latency_seconds", 0.0}});
+      } else {
+        const Job& job = jobs[std::size_t(it.job)];
+        latency = job.start_seconds + job.sim_seconds;
+        req.complete("queued", trace_epoch_, job.start_seconds, "stage");
+        req.instant("dispatched", trace_epoch_ + job.start_seconds,
+                    "request");
+        req.complete(
+            "engine_solve", trace_epoch_ + job.start_seconds,
+            job.sim_seconds, "stage",
+            {{"route", static_cast<double>(static_cast<int>(it.route))},
+             {"batch_lanes",
+              job.batch ? static_cast<double>(job.items.size()) : 0.0},
+             {"queue_seconds", job.start_seconds},
+             {"engine_seconds", job.sim_seconds},
+             {"latency_seconds", latency}});
+      }
+      if (latency > work[i].request.deadline_seconds) {
+        req.instant("deadline_missed", trace_epoch_ + latency, "request");
+      }
+      req.end(trace_epoch_ + latency);
+    }
+    double makespan = device_clock;
+    for (const double lane : host_lanes) makespan = std::max(makespan, lane);
+    trace_epoch_ += makespan;
   }
 
   // ---- Publish results, service metrics and warm-cache updates. ----

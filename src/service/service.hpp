@@ -48,7 +48,12 @@
 #include "metrics/metrics.hpp"
 #include "service/policy.hpp"
 #include "simplex/types.hpp"
+#include "trace/trace.hpp"
 #include "vgpu/machine_model.hpp"
+
+namespace gs::profile {
+class Profiler;
+}  // namespace gs::profile
 
 namespace gs::service {
 
@@ -149,6 +154,28 @@ class SolveService {
   /// Warm-cache occupancy (entries currently held).
   [[nodiscard]] std::size_t warm_cache_size() const;
 
+  /// Attach a service-level trace sink (OBSERVABILITY.md). While attached,
+  /// drain() replays every unobserved job's engine events onto the shared
+  /// modelled timelines (one device track, one host track per lane, named
+  /// via process_name/thread_name metadata) and emits a span tree per
+  /// request on its own `kServicePid` track: admitted -> queued ->
+  /// dispatched -> engine_solve (or cache_hit), with the stage slices
+  /// tiling `ServiceResult::latency_seconds` exactly. Timestamps continue
+  /// across drains (each drain advances the epoch by its makespan). Null
+  /// (the default) disables service tracing; results and latencies are
+  /// bit-identical either way. Borrowed, not owned.
+  void set_trace(trace::TraceSink* sink) noexcept { trace_sink_ = sink; }
+
+  /// Attach a roofline profiler (OBSERVABILITY.md, "Profiler"). The
+  /// profiler is interposed over any `set_trace` sink and consumes the
+  /// same replayed stream, so per-request stage attribution (p50/p99
+  /// decomposition, the 1e-9 tiling gate) and per-kernel roofline
+  /// aggregates come from one source of truth. Null (the default)
+  /// disables profiling; bit-identical either way. Borrowed, not owned.
+  void set_profiler(profile::Profiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+
  private:
   struct Pending {
     std::uint64_t id = 0;
@@ -164,6 +191,10 @@ class SolveService {
 
   DispatchPolicy policy_;
   metrics::MetricsRegistry* metrics_ = nullptr;  // borrowed; may be null
+  trace::TraceSink* trace_sink_ = nullptr;       // borrowed; may be null
+  profile::Profiler* profiler_ = nullptr;        // borrowed; may be null
+  bool trace_named_ = false;   // track-naming metadata emitted once
+  double trace_epoch_ = 0.0;   // modelled start of the next drain
   vgpu::MachineModel device_model_;
   vgpu::MachineModel host_model_;
 

@@ -22,6 +22,7 @@
 
 #include "lp/problem.hpp"
 #include "lp/standard_form.hpp"
+#include "profile/profile.hpp"
 #include "simplex/phase_setup.hpp"
 #include "simplex/types.hpp"
 #include "support/timer.hpp"
@@ -44,7 +45,8 @@ class BatchRevisedSimplex {
     GS_CHECK_MSG(!problems.empty(), "empty batch");
     WallTimer wall;
     dev_.reset_stats();
-    dev_.set_trace(opt_.trace_sink);
+    dev_.set_trace(profile::chain(opt_.profiler, opt_.trace_sink,
+                                  trace::kDevicePid, dev_.model()));
     // Checker and capture are mutually exclusive sinks; detach the
     // checker first so re-attaching on a reused device can never trip the
     // exclusivity assert on a stale pointer.

@@ -57,7 +57,10 @@ class CostMeter {
     const double t = model_.kernel_seconds(flops, bytes, 1, scalar_bytes);
     if (trace_.enabled()) {
       trace_.complete(step, stats_.sim_seconds(), t, "kernel",
-                      {{"flops", flops}, {"bytes", bytes}, {"sim_seconds", t}});
+                      {{"flops", flops},
+                       {"bytes", bytes},
+                       {"scalar_bytes", static_cast<double>(scalar_bytes)},
+                       {"sim_seconds", t}});
     }
     if (metrics_ != nullptr) {
       step_count_->inc();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "metrics/health.hpp"
+#include "profile/profile.hpp"
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
@@ -487,7 +488,10 @@ SolveResult HostRevisedSimplex::solve(const lp::LpProblem& problem) const {
 SolveResult HostRevisedSimplex::solve_standard(
     const lp::StandardFormLp& sf) const {
   WallTimer wall;
-  CostMeter meter(model_, options_.trace_sink, options_.metrics);
+  CostMeter meter(model_,
+                  profile::chain(options_.profiler, options_.trace_sink,
+                                 trace::kHostPid, model_),
+                  options_.metrics);
   // Solver-level metrics live for the whole solve (not per run_loop call)
   // so stall streaks and Bland activations span the phase boundary.
   metrics::SimplexOpMetrics op_metrics;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "metrics/health.hpp"
+#include "profile/profile.hpp"
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
@@ -234,7 +235,10 @@ SolveResult TableauSimplex::solve(const lp::LpProblem& problem) const {
 SolveResult TableauSimplex::solve_standard(
     const lp::StandardFormLp& sf) const {
   WallTimer wall;
-  CostMeter meter(model_, options_.trace_sink, options_.metrics);
+  CostMeter meter(model_,
+                  profile::chain(options_.profiler, options_.trace_sink,
+                                 trace::kHostPid, model_),
+                  options_.metrics);
   metrics::SimplexOpMetrics op_metrics;
   op_metrics.attach(options_.metrics);
   metrics::HealthMonitor health(options_.metrics, options_.health);

@@ -13,6 +13,10 @@
 #include "vgpu/analyze/analyze.hpp"
 #include "vgpu/device.hpp"
 
+namespace gs::profile {
+class Profiler;
+}  // namespace gs::profile
+
 namespace gs::simplex {
 
 /// Terminal state of a solve.
@@ -186,6 +190,20 @@ struct SolverOptions {
   /// capture log, the same guarantee every other observer gives.
   /// Borrowed, not owned; must outlive the solve.
   vgpu::analyze::CaptureLog* analyzer = nullptr;
+
+  /// Optional roofline profiler (OBSERVABILITY.md, "Profiler"). While
+  /// attached, the engine interposes the profiler as its trace sink (any
+  /// `trace_sink` above is chained downstream, so --trace and --profile
+  /// compose) and binds its machine model, producing per-kernel and
+  /// per-phase aggregates with a roofline bound classification
+  /// (launch-bound / bandwidth-bound / compute-bound), a ranked top-N
+  /// table, a collapsed-stack flamegraph and `gs-profile-v1` JSON; the
+  /// per-kernel modeled-time totals reconcile with
+  /// `DeviceStats::kernel_seconds` bit-exactly. Null (the default)
+  /// disables profiling: results, DeviceStats and iteration paths are
+  /// bit-identical with and without a profiler, the same guarantee every
+  /// other observer gives. Borrowed, not owned; must outlive the solve.
+  profile::Profiler* profiler = nullptr;
 };
 
 /// Per-phase and aggregate counters.

@@ -72,9 +72,10 @@ class TraceSink {
 // Well-known track ids used by the shipped engines (see OBSERVABILITY.md).
 // pid = one virtual processor (a vgpu Device or the host CPU model);
 // tid = one engine/stream timeline within it.
-inline constexpr std::uint32_t kDevicePid = 1;  ///< vgpu::Device timelines
-inline constexpr std::uint32_t kHostPid = 2;    ///< CostMeter (CPU) timelines
-inline constexpr std::uint32_t kEngineTid = 1;  ///< default engine stream
+inline constexpr std::uint32_t kDevicePid = 1;   ///< vgpu::Device timelines
+inline constexpr std::uint32_t kHostPid = 2;     ///< CostMeter (CPU) timelines
+inline constexpr std::uint32_t kServicePid = 3;  ///< service request tracks
+inline constexpr std::uint32_t kEngineTid = 1;   ///< default engine stream
 
 /// A (sink, pid, tid) binding: the lightweight handle every instrumented
 /// component holds. Copyable; a default-constructed Track is disabled and

@@ -312,6 +312,7 @@ class Device {
                       {{"flops", cost.flops},
                        {"bytes", cost.bytes},
                        {"threads", static_cast<double>(threads)},
+                       {"scalar_bytes", static_cast<double>(cost.scalar_bytes)},
                        {"sim_seconds", t}});
     }
     if (metrics_ != nullptr) {

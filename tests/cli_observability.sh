@@ -4,10 +4,12 @@
 #   cli_observability.sh <path-to-lp_cli> <source data dir>
 #
 # Checks, end to end against the real binary:
-#   1. Enabling --trace/--metrics/--check/--record individually or all at
-#      once leaves the solve bit-identical to a plain run (status,
-#      iterations, objective, modeled time), and the recording written by
-#      the combined run is byte-identical to the record-only run.
+#   1. Enabling --trace/--metrics/--check/--record/--profile individually
+#      or all at once leaves the solve bit-identical to a plain run
+#      (status, iterations, objective, modeled time), the recording
+#      written by the combined run is byte-identical to the record-only
+#      run, and the profile JSON (deterministic: modeled time only) is
+#      byte-identical between the solo and combined runs.
 #   2. A record -> replay round trip verifies every decision with zero
 #      mismatches and reproduces the same solve.
 #   3. A float-vs-double pair on data/precision_tie.lp diverges at pivot 0
@@ -35,17 +37,27 @@ solve_lines() {
   || fail "--metrics run"
 "$LP_CLI" --gen $GEN --check >check.out || fail "--check run"
 "$LP_CLI" --gen $GEN --record=solo.gsrec >record.out || fail "--record run"
+"$LP_CLI" --gen $GEN --profile=prof_solo.json >profile.out \
+  || fail "--profile run"
 "$LP_CLI" --gen $GEN --trace trace_comb.json --metrics=metrics_comb.json \
-  --check --record=comb.gsrec >combined.out || fail "combined run"
+  --check --record=comb.gsrec --profile=prof_comb.json >combined.out \
+  || fail "combined run"
 
 solve_lines plain.out >expected.txt
-for f in trace.out metrics.out check.out record.out combined.out; do
+for f in trace.out metrics.out check.out record.out profile.out \
+         combined.out; do
   solve_lines "$f" >got.txt
   diff expected.txt got.txt >/dev/null \
     || fail "$f: solve differs from plain run (observers must be inert)"
 done
 cmp -s solo.gsrec comb.gsrec \
   || fail "combined-run recording differs from record-only recording"
+grep -q 'profile: reconciled bit-exactly' profile.out \
+  || fail "--profile run did not report bit-exact reconciliation"
+cmp -s prof_solo.json prof_comb.json \
+  || fail "combined-run profile differs from profile-only run"
+test -s prof_solo.json.folded \
+  || fail "--profile did not write the collapsed-stack flamegraph"
 
 # Record -> replay round trip.
 "$LP_CLI" --gen $GEN --replay=solo.gsrec >replay.out \

@@ -136,4 +136,20 @@ TEST(Docs, StaticAnalysisSectionIsDocumented) {
   EXPECT_NE(readme.find("--analyze"), std::string::npos);
 }
 
+// Same contract for the roofline profiler: OBSERVABILITY.md carries the
+// "Profiler" section with the schema name and the bound-classification
+// vocabulary, and README's tour mentions the --profile flag. These
+// strings are load-bearing (tests/test_profile.cpp, lp_cli and
+// svc_traffic reference them).
+TEST(Docs, ProfilerSectionIsDocumented) {
+  const fs::path root(GS_SOURCE_DIR);
+  const std::string obs = read_file(root / "OBSERVABILITY.md");
+  EXPECT_NE(obs.find("## Profiler"), std::string::npos);
+  EXPECT_NE(obs.find("gs-profile-v1"), std::string::npos);
+  EXPECT_NE(obs.find("launch-bound"), std::string::npos);
+  EXPECT_NE(obs.find("Tiling invariant"), std::string::npos);
+  const std::string readme = read_file(root / "README.md");
+  EXPECT_NE(readme.find("--profile"), std::string::npos);
+}
+
 }  // namespace
