@@ -15,10 +15,12 @@
 //             points and skip the breakdown section. The result is a
 //             strict subset of the full document, gated with
 //             `compare_bench.py --subset` against the committed baseline.
+#include <algorithm>
 #include <iterator>
 #include <string>
 
 #include "bench/common.hpp"
+#include "telemetry/telemetry.hpp"
 #include "bench/per_iter.hpp"
 #include "bench/svc_common.hpp"
 #include "profile/profile.hpp"
@@ -87,14 +89,19 @@ int main(int argc, char** argv) {
   // --- Fig.1/Fig.2-style sweep: three engines on seeded dense LPs. ------
   // Health warnings at these fixed seeds are part of the gated contract:
   // compare_bench.py fails if any warning count *increases* vs baseline.
+  // One registry spans the whole sweep; per-point numbers come from
+  // MetricsSnapshot::diff against the previous point's snapshot — the
+  // same delta machinery the telemetry sampler rides, exercised here on
+  // the gated artifact.
   std::vector<ProfilePoint> profile_points;
+  metrics::MetricsRegistry registry;
+  metrics::MetricsSnapshot prev_snap;
   out += "  \"sweep\": [\n";
   for (std::size_t s = 0; s < sweep_count; ++s) {
     const std::size_t size = kSweepSizes[s];
     const auto problem =
         lp::random_dense_lp({.rows = size, .cols = size, .seed = 1});
 
-    metrics::MetricsRegistry registry;
     profile::Profiler prof;
     simplex::SolverOptions opt;
     opt.metrics = &registry;
@@ -141,15 +148,19 @@ int main(int argc, char** argv) {
     append_kv(out, 6, "kernel_launches", double(ds.kernel_launches), true);
     append_kv(out, 6, "h2d_bytes", double(ds.h2d_bytes), true);
     append_kv(out, 6, "d2h_bytes", double(ds.d2h_bytes), true);
-    append_kv(out, 6, "warnings_total", double(registry.warnings_total()),
-              true);
-    // Per-kind warning counters (health.warnings.<kind>), if any tripped.
-    out += "      \"warnings_by_kind\": {";
     const auto snap = registry.snapshot();
+    const auto delta = snap.diff(prev_snap);
+    prev_snap = snap;
+    append_kv(out, 6, "warnings_total", double(delta.warnings_total), true);
+    // Per-kind warning counters (health.warnings.<kind>), if any tripped
+    // at this point (delta counters; zero-valued kinds from earlier
+    // points are skipped so the emitted set matches a per-point registry).
+    out += "      \"warnings_by_kind\": {";
     bool first = true;
-    for (const auto& [name, value] : snap.counters) {
+    for (const auto& [name, value] : delta.counters) {
       constexpr std::string_view prefix = "health.warnings.";
       if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (value == 0.0) continue;
       if (!first) out += ", ";
       first = false;
       metrics::json_write_string(out, name.substr(prefix.size()));
@@ -165,15 +176,38 @@ int main(int argc, char** argv) {
   // req_per_s is a rate key: compare_bench.py fails if it *decreases*
   // beyond tolerance; the latency keys are gated like any runtime.
   const std::size_t service_count = tiny ? 1 : std::size(kServiceSizes);
+  struct SloPoint {
+    std::size_t m = 0;
+    double attainment = 1.0;
+    double p99_headroom_frac = 0.0;
+    std::size_t alerts_fired = 0;
+  };
+  std::vector<SloPoint> slo_points;
   out += "  \"service\": [\n";
   for (std::size_t s = 0; s < service_count; ++s) {
     const std::size_t size = kServiceSizes[s];
-    const bench::TrafficResult tr =
-        bench::run_same_shape_traffic(size, kServiceTraffic);
+    // The telemetry sink rides the gated traffic run (proven inert), and
+    // its SLO verdicts become the "slo" section: the spec below is the
+    // ci.sh baseline mix minus the warm-hit objective — the cold traffic
+    // of distinct problems has a 0% hit rate by construction, which would
+    // pin the min-attainment at 0 and make the gate vacuous.
+    telemetry::Telemetry tel;
+    tel.set_slo(telemetry::SloSpec::parse(
+        "p99<=20ms,miss<=0.01,reject<=0.01"));
+    const bench::TrafficResult tr = bench::run_same_shape_traffic(
+        size, kServiceTraffic, 700, nullptr, nullptr, &tel);
     if (tr.service_seconds <= 0.0) {
       std::cerr << "service traffic run failed at m=" << size << "\n";
       return 1;
     }
+    SloPoint sp;
+    sp.m = size;
+    for (const telemetry::SloAttainment& a : tel.slo_attainment()) {
+      sp.attainment = std::min(sp.attainment, a.attainment);
+      sp.alerts_fired += a.alerts_fired;
+      if (a.name.rfind("p99<=", 0) == 0) sp.p99_headroom_frac = a.headroom;
+    }
+    slo_points.push_back(sp);
     out += "    {\n";
     append_kv(out, 6, "m", double(size), true);
     append_kv(out, 6, "requests", double(kServiceTraffic), true);
@@ -187,6 +221,23 @@ int main(int argc, char** argv) {
     append_kv(out, 6, "latency_p99_ms", tr.p99_seconds * 1e3, true);
     append_kv(out, 6, "batch_rounds", double(tr.batch_rounds), false);
     out += (s + 1 < service_count) ? "    },\n" : "    }\n";
+  }
+  out += "  ],\n";
+
+  // --- SLO attainment per traffic point (telemetry + SLO engine). -------
+  // attainment and p99_headroom_frac are higher-is-better keys gated by
+  // compare_bench.py (a drop past tolerance fails); alerts_fired is
+  // informational. m-keyed like the service section so --tiny stays a
+  // strict subset.
+  out += "  \"slo\": [\n";
+  for (std::size_t s = 0; s < slo_points.size(); ++s) {
+    const SloPoint& sp = slo_points[s];
+    out += "    {\n";
+    append_kv(out, 6, "m", double(sp.m), true);
+    append_kv(out, 6, "attainment", sp.attainment, true);
+    append_kv(out, 6, "p99_headroom_frac", sp.p99_headroom_frac, true);
+    append_kv(out, 6, "alerts_fired", double(sp.alerts_fired), false);
+    out += (s + 1 < slo_points.size()) ? "    },\n" : "    }\n";
   }
   out += "  ],\n";
 

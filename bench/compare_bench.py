@@ -35,7 +35,13 @@ Walks both JSON documents in lockstep and fails (exit 1) when:
     change the profiler exists to surface. Decreases always pass;
   * any health-warning count (``warnings_total`` or an entry under
     ``warnings_by_kind``) increases. Warnings disappearing is fine;
-    new numerical-health noise at fixed seeds is not.
+    new numerical-health noise at fixed seeds is not;
+  * an SLO quality field -- ``attainment`` or ``p99_headroom_frac`` (the
+    "slo" section, produced by the telemetry pipeline's SLO engine) --
+    *decreases* by more than the default tolerance. Higher is better,
+    like the rate keys: eroding SLO attainment or latency headroom at
+    fixed seeds means the service got closer to violating its
+    objectives. Improvements always pass.
 
 All other numeric fields (iteration counts, d2h tallies, shares) are
 informational: drift is reported but does not fail the gate, so
@@ -58,6 +64,7 @@ RATE_SUFFIXES = ("_per_s",)
 BUDGET_KEYS = ("kernel_launches", "h2d_bytes", "peak_live_bytes",
                "alloc_count")
 WARNING_KEYS = ("warnings_total",)
+SLO_KEYS = ("attainment", "p99_headroom_frac")
 
 
 def is_runtime_key(key):
@@ -176,6 +183,16 @@ def compare(base, cand, tolerance, path=(), failures=None, notes=None,
                     f"{base:.6g} -> {cand:.6g} "
                     f"(+{(cand - base) / base:.1%} > {budget_tolerance:.0%})")
             elif cand != base:
+                notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
+                             f"({(cand - base) / base:+.1%})")
+        elif leaf in SLO_KEYS:
+            # SLO attainment / headroom: higher is better, so a *decrease*
+            # beyond the tolerance is the regression (like the rate keys).
+            if base > 0 and (base - cand) / base > tolerance:
+                failures.append(
+                    f"{fmt(path)}: SLO regression {base:.6g} -> {cand:.6g} "
+                    f"({(cand - base) / base:.1%} beyond -{tolerance:.0%})")
+            elif base > 0 and abs(cand - base) / base > 1e-9:
                 notes.append(f"{fmt(path)}: {base:.6g} -> {cand:.6g} "
                              f"({(cand - base) / base:+.1%})")
         elif cand != base:

@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "metrics/quantile.hpp"
 #include "profile/profile.hpp"
 #include "service/service.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace gs::bench {
@@ -28,13 +30,16 @@ struct TrafficResult {
   std::size_t accepted = 0;       ///< requests admitted (profile coverage)
 };
 
-/// `trace` / `profiler` (both optional) attach service-level observability
-/// to the run: the same seeded workload, now emitting the shared-timeline
-/// replay and per-request span trees (svc_traffic --trace / --profile).
+/// `trace` / `profiler` / `telemetry` (all optional) attach service-level
+/// observability to the run: the same seeded workload, now emitting the
+/// shared-timeline replay, per-request span trees, and/or time-series
+/// samples with SLO evaluation (svc_traffic --trace / --profile /
+/// --telemetry / --slo).
 inline TrafficResult run_same_shape_traffic(
     std::size_t m, std::size_t k, std::uint64_t seed_base = 700,
     trace::TraceSink* trace = nullptr,
-    profile::Profiler* profiler = nullptr) {
+    profile::Profiler* profiler = nullptr,
+    telemetry::Telemetry* telemetry = nullptr) {
   TrafficResult out;
   std::vector<lp::LpProblem> problems;
   problems.reserve(k);
@@ -52,6 +57,7 @@ inline TrafficResult run_same_shape_traffic(
   service::SolveService svc({}, &registry);
   svc.set_trace(trace);
   svc.set_profiler(profiler);
+  svc.set_telemetry(telemetry);
   std::vector<std::uint64_t> ids;
   ids.reserve(k);
   for (const lp::LpProblem& p : problems) {
@@ -73,11 +79,8 @@ inline TrafficResult run_same_shape_traffic(
     out.service_seconds = std::max(out.service_seconds, r.latency_seconds);
   }
   std::sort(latencies.begin(), latencies.end());
-  if (!latencies.empty()) {
-    out.p50_seconds = latencies[(latencies.size() - 1) / 2];
-    out.p99_seconds = latencies[std::min(
-        latencies.size() - 1, (latencies.size() * 99 + 99) / 100 - 1)];
-  }
+  out.p50_seconds = metrics::quantile_sorted(latencies, 0.50);
+  out.p99_seconds = metrics::quantile_sorted(latencies, 0.99);
   out.batch_rounds =
       std::size_t(registry.counter("service.batch.rounds").value());
   return out;

@@ -10,16 +10,24 @@
 // keys (req_per_s must not regress).
 //
 // Usage: svc_traffic [--tiny] [--trace[=file]] [--profile[=file]]
-//   --tiny     single m=48 point for ci.sh perf-smoke (same K=64, same
-//              seeds: the numbers match the full run bit-for-bit).
-//   --trace    attach a service-level Chrome trace sink; with =file the
-//              last size's named request-lane timeline is written there.
-//   --profile  attach the roofline profiler per size and decompose the
-//              request p50/p99 into per-stage attribution; exits 1 unless
-//              every admitted request has a span tree whose stage slices
-//              tile its latency to 1e-9 (the coverage + tiling gate ci.sh
-//              runs). With =file the last size's gs-profile-v1 JSON is
-//              written there.
+//                    [--telemetry[=file]] [--slo=<spec>]
+//   --tiny      single m=48 point for ci.sh perf-smoke (same K=64, same
+//               seeds: the numbers match the full run bit-for-bit).
+//   --trace     attach a service-level Chrome trace sink; with =file the
+//               last size's named request-lane timeline is written there.
+//   --profile   attach the roofline profiler per size and decompose the
+//               request p50/p99 into per-stage attribution; exits 1 unless
+//               every admitted request has a span tree whose stage slices
+//               tile its latency to 1e-9 (the coverage + tiling gate ci.sh
+//               runs). With =file the last size's gs-profile-v1 JSON is
+//               written there.
+//   --telemetry attach the time-series telemetry pipeline per size; with
+//               =file the last size's gs-telemetry-v1 JSON is written
+//               there (byte-identical across reruns — ci.sh cmp's two).
+//   --slo       evaluate the spec (e.g. p99<=20ms,miss<=0.01,reject<=0.01,
+//               hit>=0) against each size's sampled series and print a
+//               ranked attainment table; exits 1 if any objective blows
+//               its error budget (the pass/doctored-fail gate ci.sh runs).
 #include <fstream>
 #include <memory>
 #include <string>
@@ -51,11 +59,31 @@ bool optional_path_flag(int argc, char** argv, std::string_view name,
 int main(int argc, char** argv) {
   using namespace gs;
   const bool tiny = bench::has_flag(argc, argv, "--tiny");
-  std::string trace_path, profile_path;
+  std::string trace_path, profile_path, telemetry_path;
   const bool want_trace =
       optional_path_flag(argc, argv, "--trace", trace_path);
   const bool want_profile =
       optional_path_flag(argc, argv, "--profile", profile_path);
+  const bool want_telemetry =
+      optional_path_flag(argc, argv, "--telemetry", telemetry_path);
+  std::string slo_text;
+  bool want_slo = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--slo=")) {
+      slo_text = std::string(arg.substr(6));
+      want_slo = true;
+    }
+  }
+  telemetry::SloSpec slo_spec;
+  if (want_slo) {
+    try {
+      slo_spec = telemetry::SloSpec::parse(slo_text);
+    } catch (const gs::Error& e) {
+      std::cerr << "svc_traffic: " << e.what() << "\n";
+      return 1;
+    }
+  }
   bench::print_header(
       "Service traffic: K same-shape LPs through SolveService vs "
       "one-at-a-time device solves",
@@ -76,10 +104,14 @@ int main(int argc, char** argv) {
                             : nullptr;
     auto profiler = want_profile ? std::make_unique<profile::Profiler>()
                                  : nullptr;
+    auto tel = (want_telemetry || want_slo)
+                   ? std::make_unique<telemetry::Telemetry>()
+                   : nullptr;
+    if (tel && want_slo) tel->set_slo(slo_spec);
     // The service interposes the profiler over the trace sink itself, so
     // --trace --profile compose on one stream.
     const bench::TrafficResult r = bench::run_same_shape_traffic(
-        m, kTraffic, 700, chrome.get(), profiler.get());
+        m, kTraffic, 700, chrome.get(), profiler.get(), tel.get());
     const double speedup = r.baseline_seconds / r.service_seconds;
     table.new_row()
         .add(m)
@@ -139,6 +171,37 @@ int main(int argc, char** argv) {
     if (chrome && m == sizes.back() && !trace_path.empty()) {
       chrome->write_file(trace_path);
       std::cout << "trace: wrote " << trace_path << "\n";
+    }
+    if (tel && want_slo) {
+      // Ranked attainment: the objective burning its error budget fastest
+      // first, so the table reads top-down as "what to worry about".
+      Table slo_table({"objective", "target", "observed", "attainment",
+                       "budget burn", "alerts", "status"});
+      bool violated = false;
+      for (const telemetry::SloAttainment& a : tel->slo_attainment()) {
+        slo_table.new_row()
+            .add(a.name)
+            .add(a.target)
+            .add(a.observed)
+            .add(a.attainment)
+            .add(a.budget_consumed)
+            .add(static_cast<std::size_t>(a.alerts_fired))
+            .add(a.violated ? std::string("VIOLATED")
+                            : std::string(a.firing ? "firing" : "ok"));
+        violated = violated || a.violated;
+      }
+      slo_table.print(std::cout);
+      if (violated) {
+        std::cerr << "FAIL: SLO violated at m=" << m << " (spec " << slo_text
+                  << ")\n";
+        ok = false;
+      } else {
+        std::cout << "slo: all objectives attained at m=" << m << "\n";
+      }
+    }
+    if (tel && m == sizes.back() && !telemetry_path.empty()) {
+      tel->write_file(telemetry_path);
+      std::cout << "telemetry: wrote " << telemetry_path << "\n";
     }
   }
   table.print(std::cout);

@@ -177,6 +177,30 @@ echo "==> profiler reconciliation + request-span tiling gates"
     | grep 'stage spans tile'
 )
 
+# Telemetry + SLO gates (OBSERVABILITY.md "Telemetry & SLOs"): the
+# sampled series live on the modeled clock, so two identical runs must
+# write byte-identical gs-telemetry-v1 artifacts; the baseline SLO spec
+# (matched to the committed bench numbers) must attain every objective;
+# a doctored, unattainable spec must exit 1 (the burn-rate alerting and
+# error-budget accounting are load-bearing, not decorative); and the
+# engine-level series surface in lp_cli must write its artifact.
+echo "==> telemetry + SLO gates"
+(
+  cd build
+  ./bench/svc_traffic --tiny --telemetry=ci_telemetry.json \
+    --slo='p99<=20ms,miss<=0.01,reject<=0.01,hit>=0' \
+    | grep 'slo: all objectives attained'
+  ./bench/svc_traffic --tiny --telemetry=ci_telemetry2.json \
+    --slo='p99<=20ms,miss<=0.01,reject<=0.01,hit>=0' > /dev/null
+  cmp ci_telemetry.json ci_telemetry2.json
+  rc=0
+  ./bench/svc_traffic --tiny --slo='p99<=0.0001ms' > /dev/null 2>&1 || rc=$?
+  [ "${rc}" -eq 1 ] || {
+    echo "expected exit 1 on unattainable SLO spec, got ${rc}"; exit 1; }
+  ./examples/lp_cli --gen dense:32:11 --telemetry=ci_engine_telemetry.json \
+    | grep 'telemetry: wrote'
+)
+
 run_config build-asan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=address,undefined
 run_config build-tsan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=thread
 

@@ -91,6 +91,20 @@
 //                                                        bit-exactly. See
 //                                                        OBSERVABILITY.md,
 //                                                        "Profiler"
+//     --telemetry[=out.json]                             sample per-
+//                                                        iteration engine
+//                                                        series (objective,
+//                                                        residual, basis
+//                                                        growth) on the
+//                                                        modeled clock;
+//                                                        print Prometheus
+//                                                        text exposition
+//                                                        (or write the
+//                                                        gs-telemetry-v1
+//                                                        JSON to the file).
+//                                                        See
+//                                                        OBSERVABILITY.md,
+//                                                        "Telemetry & SLOs"
 //     --serve-bench[=<requests>:<size>]                  demo the solve
 //                                                        service
 //                                                        (SERVICE.md): push
@@ -126,7 +140,9 @@
 #include "profile/profile.hpp"
 #include "record/record.hpp"
 #include "service/service.hpp"
+#include "metrics/quantile.hpp"
 #include "simplex/solver.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/chrome_sink.hpp"
 #include "vgpu/analyze/analyze.hpp"
 #include "vgpu/check/check.hpp"
@@ -145,7 +161,7 @@ int usage() {
          "              [--analyze[=out.json]]\n"
          "              [--metrics[=out.json]] [--record[=out.gsrec]]\n"
          "              [--replay=in.gsrec] [--post-mortem=out.gsrec]\n"
-         "              [--profile[=out.json]]\n"
+         "              [--profile[=out.json]] [--telemetry[=out.json]]\n"
          "       lp_cli --gen dense:<size>[:seed] [options]\n"
          "       lp_cli --diff a.gsrec b.gsrec\n"
          "       lp_cli --serve-bench[=<requests>:<size>]\n";
@@ -212,6 +228,8 @@ int main(int argc, char** argv) {
   std::string record_path = "lp_cli.gsrec";
   bool profile_on = false;
   std::string profile_path;
+  bool telemetry_on = false;
+  std::string telemetry_path;
   std::string replay_path, post_mortem_path, diff_a, diff_b;
   bool serve_bench = false;
   std::string serve_spec;
@@ -250,6 +268,13 @@ int main(int argc, char** argv) {
       profile_on = true;
       profile_path = arg.substr(std::string("--profile=").size());
       if (profile_path.empty()) return usage();
+    } else if (arg == "--telemetry") {
+      // Valueless form (Prometheus text to stdout); same trap as --metrics.
+      telemetry_on = true;
+    } else if (arg.starts_with("--telemetry=")) {
+      telemetry_on = true;
+      telemetry_path = arg.substr(std::string("--telemetry=").size());
+      if (telemetry_path.empty()) return usage();
     } else if (arg == "--record") {
       // Valueless form (default output file); same trap as --metrics.
       record_on = true;
@@ -357,9 +382,8 @@ int main(int argc, char** argv) {
       makespan = std::max(makespan, r.latency_seconds);
     }
     std::sort(latencies.begin(), latencies.end());
-    const double p50 = latencies[(latencies.size() - 1) / 2];
-    const double p99 = latencies[std::min(
-        latencies.size() - 1, (latencies.size() * 99 + 99) / 100 - 1)];
+    const double p50 = metrics::quantile_sorted(latencies, 0.50);
+    const double p99 = metrics::quantile_sorted(latencies, 0.99);
 
     std::cout << "serve-bench: " << requests << " same-shape requests, "
               << "dense m=" << size << " (crossover_m="
@@ -467,6 +491,8 @@ int main(int argc, char** argv) {
     if (metrics_on) options.metrics = &registry;
     profile::Profiler profiler;
     if (profile_on) options.profiler = &profiler;
+    telemetry::Telemetry tele;
+    if (telemetry_on) options.telemetry = &tele;
     record::Recorder recorder;
     const bool replay_on = !replay_path.empty();
     if (replay_on) {
@@ -657,6 +683,15 @@ int main(int argc, char** argv) {
         std::cout << "profile: wrote " << profile_path
                   << " (gs-profile-v1) and " << folded
                   << " (collapsed stacks)\n";
+      }
+    }
+    if (telemetry_on) {
+      if (telemetry_path.empty()) {
+        std::cout << tele.to_prometheus();
+      } else {
+        tele.write_file(telemetry_path);
+        std::cout << "telemetry: wrote " << tele.series().size()
+                  << " series to " << telemetry_path << "\n";
       }
     }
     if (check_on) {

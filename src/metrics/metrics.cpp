@@ -55,6 +55,45 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = base.counters.find(name);
+    out.counters[name] = value - (it == base.counters.end() ? 0.0 : it->second);
+  }
+  // Gauges are last-write-wins samples; a subtraction would be meaningless,
+  // so the delta carries the current state through.
+  out.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    HistogramData d;
+    d.bounds = h.bounds;
+    d.counts = h.counts;
+    d.count = h.count;
+    d.sum = h.sum;
+    d.min = h.min;
+    d.max = h.max;
+    const auto it = base.histograms.find(name);
+    if (it != base.histograms.end() &&
+        it->second.counts.size() == h.counts.size()) {
+      for (std::size_t k = 0; k < d.counts.size(); ++k) {
+        d.counts[k] -= it->second.counts[k];
+      }
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+    }
+    out.histograms[name] = std::move(d);
+  }
+  if (warnings.size() > base.warnings.size()) {
+    out.warnings.assign(warnings.begin() +
+                            static_cast<std::ptrdiff_t>(base.warnings.size()),
+                        warnings.end());
+  }
+  out.warnings_total = warnings_total >= base.warnings_total
+                           ? warnings_total - base.warnings_total
+                           : 0;
+  return out;
+}
+
 void json_write_number(std::string& out, double v) {
   if (!std::isfinite(v)) {
     out += "null";

@@ -230,6 +230,17 @@ struct MetricsSnapshot {
 
   [[nodiscard]] std::string to_json() const;
   void write_file(const std::string& path) const;
+
+  /// Delta of this snapshot relative to an earlier `base` of the same
+  /// registry: counters and histogram bucket counts / count / sum are
+  /// subtracted (names missing from `base` are treated as zero there);
+  /// gauges are last-write-wins, so the current value/min/max are copied
+  /// through unchanged; `warnings` keeps the suffix recorded after `base`
+  /// and `warnings_total` the difference. This is what per-interval rates
+  /// are made of — the telemetry sampler (src/telemetry) and the
+  /// bench_json sweep both derive per-point activity from one
+  /// long-lived registry this way.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& base) const;
 };
 
 /// Minimal JSON emission helpers shared by the snapshot writer and the

@@ -1,0 +1,82 @@
+// Shared quantile estimation: the single nearest-rank convention used by
+// every surface that reports p50/p99 — the bench traffic harness
+// (bench/svc_common.hpp), lp_cli --serve-bench, the profiler's request
+// summary, and the SLO engine's histogram-quantile estimation
+// (src/telemetry/slo.cpp).
+//
+// The rank formula generalises the two expressions that used to be
+// duplicated across those call sites:
+//   p50: (n - 1) / 2
+//   p99: min(n - 1, (n * 99 + 99) / 100 - 1)
+// Both are exactly `min(n - 1, ceil(n * q) - 1)` (nearest-rank, 0-based);
+// tests/test_telemetry.cpp pins the equivalence for every n up to 4096 so
+// the historical bench numbers cannot drift.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace gs::metrics {
+
+/// 0-based index of the q-quantile in a sorted sample of size n
+/// (nearest-rank: the smallest index covering at least a q-fraction of the
+/// sample). q is clamped to (0, 1]; n == 0 returns 0.
+[[nodiscard]] inline std::size_t quantile_rank(std::size_t n, double q) {
+  if (n == 0) return 0;
+  if (q <= 0.0) return 0;
+  if (q >= 1.0) return n - 1;
+  const double r = std::ceil(static_cast<double>(n) * q);
+  const auto rank = static_cast<std::size_t>(r);
+  return rank == 0 ? 0 : std::min(n - 1, rank - 1);
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample. 0.0 when empty.
+[[nodiscard]] inline double quantile_sorted(std::span<const double> sorted,
+                                            double q) {
+  if (sorted.empty()) return 0.0;
+  return sorted[quantile_rank(sorted.size(), q)];
+}
+
+/// Quantile estimate from a fixed-bucket histogram (the Histogram layout:
+/// counts[k] tallies observations v <= bounds[k], first match, with one
+/// trailing overflow bucket). The estimate interpolates linearly inside
+/// the bucket holding the nearest-rank observation, then clamps into
+/// [sample_min, sample_max] when those are finite — so a bucket holding a
+/// single repeated value reports that value exactly instead of the bucket
+/// edge. 0.0 when the histogram is empty.
+[[nodiscard]] inline double quantile_histogram(
+    std::span<const double> bounds, std::span<const std::uint64_t> counts,
+    double q,
+    double sample_min = std::numeric_limits<double>::quiet_NaN(),
+    double sample_max = std::numeric_limits<double>::quiet_NaN()) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const std::uint64_t rank = quantile_rank(total, q);
+  std::uint64_t below = 0;
+  std::size_t bucket = counts.size() - 1;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (rank < below + counts[k]) {
+      bucket = k;
+      break;
+    }
+    below += counts[k];
+  }
+  const double lo = bucket == 0 ? 0.0 : bounds[bucket - 1];
+  // The overflow bucket has no upper edge; fall back to its lower edge
+  // (the clamp below recovers the exact value when sample_max is known).
+  const double hi = bucket < bounds.size() ? bounds[bucket] : lo;
+  const double fill = counts[bucket] == 0
+                          ? 1.0
+                          : static_cast<double>(rank + 1 - below) /
+                                static_cast<double>(counts[bucket]);
+  double v = lo + fill * (hi - lo);
+  if (std::isfinite(sample_max) && v > sample_max) v = sample_max;
+  if (std::isfinite(sample_min) && v < sample_min) v = sample_min;
+  return v;
+}
+
+}  // namespace gs::metrics

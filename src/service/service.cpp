@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "simplex/phase_setup.hpp"
 #include "simplex/solver.hpp"
 #include "support/error.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/chrome_sink.hpp"
 
 namespace gs::service {
@@ -77,6 +80,7 @@ Ticket SolveService::submit(SolveRequest request) {
     ticket.id = next_id_++;
     pending_.push_back(Pending{ticket.id, std::move(request)});
   }
+  if (!ticket.accepted) ++rejected_since_drain_;
   if (metrics_ != nullptr) {
     if (ticket.accepted) {
       metrics_->counter("service.accepted").inc();
@@ -113,10 +117,16 @@ const ServiceResult& SolveService::result(std::uint64_t id) const {
 
 void SolveService::drain() {
   std::vector<Pending> work;
+  std::uint64_t rejected_before = 0;
   {
     std::lock_guard lock(mutex_);
     work.swap(pending_);
     if (metrics_ != nullptr) metrics_->gauge("service.queue_depth").set(0.0);
+    // Rejects since the last drain are attributed to this drain's first
+    // telemetry interval; an empty drain leaves them for the next one.
+    if (!work.empty()) {
+      rejected_before = std::exchange(rejected_since_drain_, 0);
+    }
   }
   if (work.empty()) return;
 
@@ -141,7 +151,7 @@ void SolveService::drain() {
     it.observed = o.trace_sink != nullptr || o.checker != nullptr ||
                   o.metrics != nullptr || o.recorder != nullptr ||
                   o.warm_basis != nullptr || o.analyzer != nullptr ||
-                  o.profiler != nullptr;
+                  o.profiler != nullptr || o.telemetry != nullptr;
     it.batchable = it.ok && slack_startable && !it.observed;
   }
 
@@ -319,6 +329,15 @@ void SolveService::drain() {
       *lane += job.sim_seconds;
     }
   }
+  // The drain's modelled makespan and its start on the epoch clock: both
+  // the trace replay and the telemetry sampler place this drain at
+  // [epoch, epoch + makespan]; the epoch advances by the makespan whether
+  // or not any observer is attached (inert either way — the clock is only
+  // read by observers).
+  double makespan = device_clock;
+  for (const double lane : host_lanes) makespan = std::max(makespan, lane);
+  const double epoch = trace_epoch_;
+  trace_epoch_ += makespan;
 
   // ---- Service trace/profile emission (drain thread, scheduling order:
   // deterministic for any worker count). Engine events replay onto the
@@ -349,7 +368,7 @@ void SolveService::drain() {
         // rename the shared lanes after every job.
         if (ev.phase == trace::EventPhase::kMetadata) continue;
         trace::TraceEvent out = ev;
-        out.ts += trace_epoch_ + job.start_seconds;
+        out.ts += epoch + job.start_seconds;
         if (out.pid == trace::kHostPid) out.tid = job.host_tid;
         obs->emit(std::move(out));
       }
@@ -363,20 +382,20 @@ void SolveService::drain() {
       req.name_thread("req " + std::to_string(id) + " [" +
                       std::string(to_string(it.route)) + "]");
       double latency = 0.0;
-      req.begin("request", trace_epoch_, "request",
+      req.begin("request", epoch, "request",
                 {{"id", static_cast<double>(id)}});
-      req.instant("admitted", trace_epoch_, "request");
+      req.instant("admitted", epoch, "request");
       if (it.served_from_cache) {
-        req.complete("cache_hit", trace_epoch_, 0.0, "stage",
+        req.complete("cache_hit", epoch, 0.0, "stage",
                      {{"latency_seconds", 0.0}});
       } else {
         const Job& job = jobs[std::size_t(it.job)];
         latency = job.start_seconds + job.sim_seconds;
-        req.complete("queued", trace_epoch_, job.start_seconds, "stage");
-        req.instant("dispatched", trace_epoch_ + job.start_seconds,
+        req.complete("queued", epoch, job.start_seconds, "stage");
+        req.instant("dispatched", epoch + job.start_seconds,
                     "request");
         req.complete(
-            "engine_solve", trace_epoch_ + job.start_seconds,
+            "engine_solve", epoch + job.start_seconds,
             job.sim_seconds, "stage",
             {{"route", static_cast<double>(static_cast<int>(it.route))},
              {"batch_lanes",
@@ -386,13 +405,83 @@ void SolveService::drain() {
              {"latency_seconds", latency}});
       }
       if (latency > work[i].request.deadline_seconds) {
-        req.instant("deadline_missed", trace_epoch_ + latency, "request");
+        req.instant("deadline_missed", epoch + latency, "request");
       }
-      req.end(trace_epoch_ + latency);
+      req.end(epoch + latency);
     }
-    double makespan = device_clock;
-    for (const double lane : host_lanes) makespan = std::max(makespan, lane);
-    trace_epoch_ += makespan;
+  }
+
+  // ---- Telemetry sampling (drain thread, derived purely from the
+  // modelled timeline stamped above — deterministic for any worker
+  // count). The drain's [epoch, epoch + makespan] span is sliced into
+  // fixed sample_interval_seconds intervals; each completion lands in the
+  // interval containing its latency offset (warm hits at offset zero),
+  // in-flight depth counts requests completing in a later interval, and
+  // rejects since the last drain are attributed to the first interval. ----
+  if (telemetry_ != nullptr) {
+    struct Done {
+      double latency = 0.0;
+      bool missed = false;
+      bool warm_lookup = false;
+      bool warm_hit = false;
+    };
+    std::vector<Done> done;
+    done.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const Item& it = items[i];
+      Done d;
+      if (!it.served_from_cache) {
+        const Job& job = jobs[std::size_t(it.job)];
+        d.latency = job.start_seconds + job.sim_seconds;
+      }
+      d.missed = d.latency > work[i].request.deadline_seconds;
+      d.warm_lookup = cache_on && it.ok && !it.observed;
+      d.warm_hit = it.served_from_cache;
+      done.push_back(d);
+    }
+    const double dt = telemetry_->config().sample_interval_seconds;
+    const std::size_t n_samples = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(makespan / dt)));
+    const std::span<const double> ladder = metrics::seconds_buckets();
+    const auto interval_of = [&](double off) {
+      return std::min(n_samples - 1, static_cast<std::size_t>(off / dt));
+    };
+    for (std::size_t k = 0; k < n_samples; ++k) {
+      telemetry::ServiceSample smp;
+      smp.t = epoch + (k + 1 == n_samples ? makespan
+                                          : static_cast<double>(k + 1) * dt);
+      smp.interval_seconds = dt;
+      smp.latency_counts.assign(ladder.size() + 1, 0);
+      if (k == 0) smp.rejected = rejected_before;
+      for (const Done& d : done) {
+        const std::size_t idx = interval_of(d.latency);
+        if (idx > k) {
+          ++smp.inflight;
+          continue;
+        }
+        if (idx < k) continue;
+        ++smp.completed;
+        if (d.missed) ++smp.deadline_missed;
+        // Warm-cache accounting rides the completion's interval (a hit
+        // completes instantly, so hits always land in interval 0).
+        if (d.warm_lookup) {
+          ++smp.warm_lookups;
+          if (d.warm_hit) ++smp.warm_hits;
+        }
+        std::size_t b = 0;
+        while (b < ladder.size() && d.latency > ladder[b]) ++b;
+        ++smp.latency_counts[b];
+        if (smp.completed == 1 || d.latency < smp.latency_min) {
+          smp.latency_min = d.latency;
+        }
+        if (smp.completed == 1 || d.latency > smp.latency_max) {
+          smp.latency_max = d.latency;
+        }
+      }
+      telemetry_->observe_service_sample(smp);
+    }
+    telemetry_->event("drain", epoch + makespan,
+                      std::to_string(items.size()) + " request(s)");
   }
 
   // ---- Publish results, service metrics and warm-cache updates. ----
@@ -481,6 +570,12 @@ void SolveService::drain() {
           .observe(double(job.items.size()) /
                    double(std::max<std::size_t>(1, policy_.batch_target)));
     }
+  }
+  // Registry sampling comes last so the per-drain counter deltas include
+  // everything this drain published (still under the lock: submit() may be
+  // writing the same registry from other threads).
+  if (telemetry_ != nullptr && metrics_ != nullptr) {
+    telemetry_->sample_registry(epoch + makespan, *metrics_);
   }
 }
 

@@ -55,6 +55,10 @@ namespace gs::profile {
 class Profiler;
 }  // namespace gs::profile
 
+namespace gs::telemetry {
+class Telemetry;
+}  // namespace gs::telemetry
+
 namespace gs::service {
 
 /// Why submit() refused a request.
@@ -176,6 +180,20 @@ class SolveService {
     profiler_ = profiler;
   }
 
+  /// Attach a time-series telemetry pipeline (OBSERVABILITY.md, "Telemetry
+  /// & SLOs"). While attached, drain() slices its modelled makespan into
+  /// fixed `sample_interval_seconds` intervals on the epoch clock and
+  /// emits one ServiceSample per interval — completions, deadline misses,
+  /// rejects, in-flight depth, warm-cache lookups and a latency histogram
+  /// — feeding the service.* series and, when an SLO spec is attached,
+  /// the burn-rate alert engine. Everything is derived from the modelled
+  /// timeline, so the series are byte-identical for any worker count, and
+  /// results/latencies are bit-identical with and without the sink, the
+  /// same guarantee set_trace gives. Borrowed, not owned.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
   struct Pending {
     std::uint64_t id = 0;
@@ -193,8 +211,10 @@ class SolveService {
   metrics::MetricsRegistry* metrics_ = nullptr;  // borrowed; may be null
   trace::TraceSink* trace_sink_ = nullptr;       // borrowed; may be null
   profile::Profiler* profiler_ = nullptr;        // borrowed; may be null
+  telemetry::Telemetry* telemetry_ = nullptr;    // borrowed; may be null
   bool trace_named_ = false;   // track-naming metadata emitted once
   double trace_epoch_ = 0.0;   // modelled start of the next drain
+  std::uint64_t rejected_since_drain_ = 0;  // submit() rejects, under mutex_
   vgpu::MachineModel device_model_;
   vgpu::MachineModel host_model_;
 

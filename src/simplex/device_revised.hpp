@@ -34,6 +34,7 @@
 #include "simplex/phase_setup.hpp"
 #include "simplex/types.hpp"
 #include "support/timer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vblas/containers.hpp"
 #include "vblas/host_ref.hpp"
 #include "vblas/lu.hpp"
@@ -958,6 +959,10 @@ class DeviceRevisedSimplex {
       }
       z = new_z;
       if (tr.enabled()) tr.counter("objective", dev_.sim_seconds(), z);
+      telemetry::Telemetry* tel = ws.options.telemetry;
+      const bool want_tel =
+          tel != nullptr && tel->want_iteration_sample(iter);
+      if (want_tel) tel->record("engine.objective", dev_.sim_seconds(), z);
 
       // Periodic refactorization to shed accumulated rounding error
       // (explicit inverse) or to bound the eta file (product form / LU).
@@ -981,7 +986,11 @@ class DeviceRevisedSimplex {
         }
       }
 
-      if (health.want_residual_sample(iter)) sample_health(ws, health, iter);
+      const bool want_health = health.want_residual_sample(iter);
+      if (want_health || want_tel) {
+        sample_health(ws, health, want_health, want_tel ? tel : nullptr,
+                      iter);
+      }
     }
     return LoopExit::kIterationLimit;
   }
@@ -1114,6 +1123,10 @@ class DeviceRevisedSimplex {
       }
       z = new_z;
       if (tr.enabled()) tr.counter("objective", dev_.sim_seconds(), z);
+      telemetry::Telemetry* tel = ws.options.telemetry;
+      const bool want_tel =
+          tel != nullptr && tel->want_iteration_sample(iter);
+      if (want_tel) tel->record("engine.objective", dev_.sim_seconds(), z);
 
       ++ws.pivots_since_refactor;
       const std::size_t period = ws.options.refactor_period;
@@ -1126,7 +1139,11 @@ class DeviceRevisedSimplex {
         }
       }
 
-      if (health.want_residual_sample(iter)) sample_health(ws, health, iter);
+      const bool want_health = health.want_residual_sample(iter);
+      if (want_health || want_tel) {
+        sample_health(ws, health, want_health, want_tel ? tel : nullptr,
+                      iter);
+      }
     }
     return LoopExit::kIterationLimit;
   }
@@ -1142,10 +1159,18 @@ class DeviceRevisedSimplex {
   /// `‖B·B⁻¹ − I‖∞` that tracks drift in the rank-1 update. Growth is the
   /// max |B⁻¹| over the probed rows. Product-form / LU schemes have no
   /// drifting inverse to probe; they report the eta-file length instead.
+  /// The health monitor and the telemetry sink sample on independent
+  /// strides; each consumer is fed only when its own gate fired, so
+  /// attaching telemetry never changes what the HealthMonitor records.
   void sample_health(Workspace& ws, metrics::HealthMonitor& health,
+                     bool record_health, telemetry::Telemetry* tel,
                      std::size_t iter) {
     if (ws.options.basis != BasisScheme::kExplicitInverse) {
-      health.record_eta_count(ws.etas.size());
+      if (record_health) health.record_eta_count(ws.etas.size());
+      if (tel != nullptr) {
+        tel->record("engine.eta_count", dev_.sim_seconds(),
+                    static_cast<double>(ws.etas.size()));
+      }
       return;
     }
     const std::size_t m = ws.m;
@@ -1188,8 +1213,14 @@ class DeviceRevisedSimplex {
         if (v > growth) growth = v;
       }
     }
-    health.record_residual(residual, iter);
-    health.record_growth(growth, iter);
+    if (record_health) {
+      health.record_residual(residual, iter);
+      health.record_growth(growth, iter);
+    }
+    if (tel != nullptr) {
+      tel->record("engine.residual_inf", dev_.sim_seconds(), residual);
+      tel->record("engine.binv_growth", dev_.sim_seconds(), growth);
+    }
   }
 
   /// Apply one basis exchange: entering column q replaces row p's variable.

@@ -11,6 +11,7 @@
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "vblas/containers.hpp"
 #include "vblas/host_ref.hpp"
@@ -262,12 +263,16 @@ void pivot(State& s, std::size_t q, std::size_t p, double theta) {
   return out;
 }
 
-/// HealthMonitor sampling hook for the host engine (strided; see
+/// HealthMonitor/telemetry sampling hook for the host engine (strided; see
 /// HealthConfig). Probes entries of B·B⁻¹ − I directly from the dense A^T
 /// — column k of B is the constraint column of basic[k], so one probe is
 /// an O(m) dot product — and takes max |B⁻¹| over the probed rows as the
-/// growth estimate. Pure reads; charges nothing to the meter.
+/// growth estimate. Pure reads; charges nothing to the meter. The health
+/// monitor and the telemetry sink sample on independent strides, so each
+/// consumer is fed only when its own gate fired — attaching telemetry
+/// never changes what the HealthMonitor records.
 void sample_health(const State& s, metrics::HealthMonitor& health,
+                   bool record_health, telemetry::Telemetry* tel,
                    std::size_t iter) {
   const std::size_t m = s.m;
   const std::size_t probes =
@@ -290,8 +295,14 @@ void sample_health(const State& s, metrics::HealthMonitor& health,
       if (v > growth) growth = v;
     }
   }
-  health.record_residual(residual, iter);
-  health.record_growth(growth, iter);
+  if (record_health) {
+    health.record_residual(residual, iter);
+    health.record_growth(growth, iter);
+  }
+  if (tel != nullptr) {
+    tel->record("engine.residual_inf", s.meter.sim_seconds(), residual);
+    tel->record("engine.binv_growth", s.meter.sim_seconds(), growth);
+  }
 }
 
 /// Rows tied at the winning ratio, using the exact ratio-test expression
@@ -427,7 +438,12 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
     ++stats.iterations;
     om.count_iteration();
     health.record_pivot(alpha_p, theta, bland, iter);
-    if (health.want_residual_sample(iter)) sample_health(s, health, iter);
+    telemetry::Telemetry* tel = s.opt.telemetry;
+    const bool want_health = health.want_residual_sample(iter);
+    const bool want_tel = tel != nullptr && tel->want_iteration_sample(iter);
+    if (want_health || want_tel) {
+      sample_health(s, health, want_health, want_tel ? tel : nullptr, iter);
+    }
     const double new_z = z + theta * d_q;
     if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
       since_improve = 0;
@@ -436,6 +452,7 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
     }
     z = new_z;
     if (tr.enabled()) tr.counter("objective", s.meter.sim_seconds(), z);
+    if (want_tel) tel->record("engine.objective", s.meter.sim_seconds(), z);
   }
   return LoopExit::kIterationLimit;
 }

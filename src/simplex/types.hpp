@@ -17,6 +17,10 @@ namespace gs::profile {
 class Profiler;
 }  // namespace gs::profile
 
+namespace gs::telemetry {
+class Telemetry;
+}  // namespace gs::telemetry
+
 namespace gs::simplex {
 
 /// Terminal state of a solve.
@@ -204,6 +208,18 @@ struct SolverOptions {
   /// bit-identical with and without a profiler, the same guarantee every
   /// other observer gives. Borrowed, not owned; must outlive the solve.
   profile::Profiler* profiler = nullptr;
+
+  /// Optional time-series telemetry pipeline (OBSERVABILITY.md,
+  /// "Telemetry & SLOs"). While attached, the engine records per-iteration
+  /// series on the modeled clock — `engine.objective` every
+  /// `iteration_stride`-th iteration, plus `engine.residual_inf` /
+  /// `engine.binv_growth` (or `engine.eta_count` for eta-file bases) at
+  /// the same cadence, sharing the HealthMonitor's pure-read probes
+  /// without perturbing its own sampling. Null (the default) disables
+  /// telemetry: results, DeviceStats and iteration paths are bit-identical
+  /// with and without a sink, the same guarantee every other observer
+  /// gives. Borrowed, not owned; must outlive the solve.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Per-phase and aggregate counters.

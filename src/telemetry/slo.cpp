@@ -1,0 +1,227 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "metrics/quantile.hpp"
+#include "support/error.hpp"
+
+namespace gs::telemetry {
+
+namespace {
+
+// A latency-sample verdict tolerates 1% bad samples; rate objectives use
+// the target itself as the budget (a miss<=0.01 objective tolerates a 1%
+// miss rate by definition). The epsilon floor keeps burn = bad/budget
+// finite for a zero-tolerance spec like reject<=0.
+constexpr double kLatencyBudget = 0.01;
+constexpr double kBudgetFloor = 1e-12;
+
+double parse_double(std::string_view text, std::string_view clause) {
+  double v = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, v);
+  GS_CHECK_MSG(ec == std::errc{} && ptr == end,
+               std::string("bad number in SLO clause: ") + std::string(clause));
+  return v;
+}
+
+/// "50ms" / "800us" / "2.5s" / bare seconds -> seconds.
+double parse_seconds(std::string_view text, std::string_view clause) {
+  double scale = 1.0;
+  if (text.ends_with("ms")) {
+    scale = 1e-3;
+    text.remove_suffix(2);
+  } else if (text.ends_with("us")) {
+    scale = 1e-6;
+    text.remove_suffix(2);
+  } else if (text.ends_with("s")) {
+    text.remove_suffix(1);
+  }
+  return scale * parse_double(text, clause);
+}
+
+}  // namespace
+
+SloSpec SloSpec::parse(std::string_view spec) {
+  SloSpec out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::string_view clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    while (!clause.empty() && clause.front() == ' ') clause.remove_prefix(1);
+    while (!clause.empty() && clause.back() == ' ') clause.remove_suffix(1);
+    if (clause.empty()) continue;
+    if (clause.starts_with("p99<=")) {
+      out.objectives.push_back({std::string(clause), SloKind::kLatencyP99,
+                                parse_seconds(clause.substr(5), clause)});
+    } else if (clause.starts_with("miss<=")) {
+      out.objectives.push_back({std::string(clause),
+                                SloKind::kDeadlineMissRate,
+                                parse_double(clause.substr(6), clause)});
+    } else if (clause.starts_with("reject<=")) {
+      out.objectives.push_back({std::string(clause), SloKind::kRejectRate,
+                                parse_double(clause.substr(8), clause)});
+    } else if (clause.starts_with("hit>=")) {
+      out.objectives.push_back({std::string(clause), SloKind::kWarmHitRate,
+                                parse_double(clause.substr(5), clause)});
+    } else if (clause.starts_with("fast=")) {
+      out.fast_window = static_cast<std::size_t>(
+          parse_double(clause.substr(5), clause));
+    } else if (clause.starts_with("slow=")) {
+      out.slow_window = static_cast<std::size_t>(
+          parse_double(clause.substr(5), clause));
+    } else if (clause.starts_with("burn=")) {
+      out.burn_threshold = parse_double(clause.substr(5), clause);
+    } else {
+      GS_FAIL(std::string("unknown SLO clause: ") + std::string(clause) +
+              " (expected p99<=/miss<=/reject<=/hit>=/fast=/slow=/burn=)");
+    }
+  }
+  GS_CHECK_MSG(out.fast_window > 0, "SLO fast window must be positive");
+  out.slow_window = std::max(out.slow_window, out.fast_window);
+  return out;
+}
+
+SloEngine::SloEngine(SloSpec spec) : spec_(std::move(spec)) {
+  states_.resize(spec_.objectives.size());
+}
+
+double SloEngine::error_budget(const SloObjective& o) const {
+  switch (o.kind) {
+    case SloKind::kLatencyP99:
+      return kLatencyBudget;
+    case SloKind::kDeadlineMissRate:
+    case SloKind::kRejectRate:
+      return std::max(o.target, kBudgetFloor);
+    case SloKind::kWarmHitRate:
+      return std::max(1.0 - o.target, kBudgetFloor);
+  }
+  return kBudgetFloor;
+}
+
+SloEngine::BadTotal SloEngine::judge(const SloObjective& o,
+                                     const ServiceSample& s) {
+  switch (o.kind) {
+    case SloKind::kLatencyP99: {
+      if (s.completed == 0) return {};
+      const double p99 = metrics::quantile_histogram(
+          metrics::seconds_buckets(), s.latency_counts, 0.99, s.latency_min,
+          s.latency_max);
+      return {p99 > o.target ? 1ULL : 0ULL, 1};
+    }
+    case SloKind::kDeadlineMissRate:
+      return {s.deadline_missed, s.completed};
+    case SloKind::kRejectRate:
+      return {s.rejected, s.completed + s.rejected};
+    case SloKind::kWarmHitRate:
+      return {s.warm_lookups - s.warm_hits, s.warm_lookups};
+  }
+  return {};
+}
+
+double SloEngine::window_burn(const State& st, std::size_t window,
+                              double budget) const {
+  std::uint64_t bad = 0, total = 0;
+  const std::size_t n = std::min(window, st.window.size());
+  for (std::size_t i = st.window.size() - n; i < st.window.size(); ++i) {
+    bad += st.window[i].bad;
+    total += st.window[i].total;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(bad) / static_cast<double>(total) / budget;
+}
+
+std::vector<SloTransition> SloEngine::observe(const ServiceSample& s) {
+  std::vector<SloTransition> edges;
+  for (std::size_t i = 0; i < spec_.objectives.size(); ++i) {
+    const SloObjective& o = spec_.objectives[i];
+    State& st = states_[i];
+    const BadTotal bt = judge(o, s);
+    st.window.push_back(bt);
+    while (st.window.size() > spec_.slow_window) st.window.pop_front();
+    st.bad_sum += bt.bad;
+    st.total_sum += bt.total;
+    if (o.kind == SloKind::kLatencyP99 && s.completed > 0) {
+      if (st.latency_counts.size() < s.latency_counts.size()) {
+        st.latency_counts.resize(s.latency_counts.size(), 0);
+      }
+      for (std::size_t k = 0; k < s.latency_counts.size(); ++k) {
+        st.latency_counts[k] += s.latency_counts[k];
+      }
+      if (!st.latency_seen || s.latency_min < st.latency_min) {
+        st.latency_min = s.latency_min;
+      }
+      if (!st.latency_seen || s.latency_max > st.latency_max) {
+        st.latency_max = s.latency_max;
+      }
+      st.latency_seen = true;
+    }
+    const double budget = error_budget(o);
+    const bool firing =
+        window_burn(st, spec_.fast_window, budget) > spec_.burn_threshold &&
+        window_burn(st, spec_.slow_window, budget) > spec_.burn_threshold;
+    if (firing != st.firing) {
+      st.firing = firing;
+      if (firing) ++st.alerts_fired;
+      edges.push_back({o.name, firing, s.t});
+    }
+  }
+  return edges;
+}
+
+std::vector<SloAttainment> SloEngine::attainment() const {
+  std::vector<SloAttainment> out;
+  out.reserve(spec_.objectives.size());
+  for (std::size_t i = 0; i < spec_.objectives.size(); ++i) {
+    const SloObjective& o = spec_.objectives[i];
+    const State& st = states_[i];
+    SloAttainment a;
+    a.name = o.name;
+    a.target = o.target;
+    const double bad_frac =
+        st.total_sum == 0 ? 0.0
+                          : static_cast<double>(st.bad_sum) /
+                                static_cast<double>(st.total_sum);
+    a.attainment = 1.0 - bad_frac;
+    a.budget_consumed = bad_frac / error_budget(o);
+    switch (o.kind) {
+      case SloKind::kLatencyP99:
+        a.observed = st.latency_seen
+                         ? metrics::quantile_histogram(
+                               metrics::seconds_buckets(), st.latency_counts,
+                               0.99, st.latency_min, st.latency_max)
+                         : 0.0;
+        a.headroom = o.target > 0.0 ? (o.target - a.observed) / o.target : 0.0;
+        break;
+      case SloKind::kDeadlineMissRate:
+      case SloKind::kRejectRate:
+        a.observed = bad_frac;
+        break;
+      case SloKind::kWarmHitRate:
+        a.observed = 1.0 - bad_frac;
+        break;
+    }
+    a.alerts_fired = st.alerts_fired;
+    a.firing = st.firing;
+    a.violated = a.budget_consumed > 1.0;
+    out.push_back(std::move(a));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SloAttainment& x, const SloAttainment& y) {
+                     return x.budget_consumed > y.budget_consumed;
+                   });
+  return out;
+}
+
+bool SloEngine::violated() const {
+  for (const SloAttainment& a : attainment()) {
+    if (a.violated) return true;
+  }
+  return false;
+}
+
+}  // namespace gs::telemetry

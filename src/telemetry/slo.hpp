@@ -1,0 +1,143 @@
+// SLO engine: declarative service-level objectives evaluated per telemetry
+// sample, with error-budget accounting and multi-window burn-rate alerts
+// (OBSERVABILITY.md, "Telemetry & SLOs").
+//
+// Objectives are judged against `ServiceSample` intervals — the fixed-width
+// slices of the modeled drain timeline that the telemetry pipeline emits —
+// so evaluation is as deterministic as the samples themselves: no
+// wall-clock, no randomness, byte-identical verdicts for identical runs.
+//
+// Each objective tracks (bad, total) event pairs per sample. The error
+// budget is the tolerated bad fraction; burn rate is the observed bad
+// fraction over a window divided by that budget (burn 1.0 = consuming the
+// budget exactly as fast as allowed). An alert fires when BOTH the fast
+// window (quick detection) and the slow window (flap suppression) burn
+// above the threshold — the standard multi-window scheme — and resolves
+// when either drops back under. Transitions are timestamped on the sample
+// clock and become `slo-firing` / `slo-resolved` events in the series.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gs::telemetry {
+
+/// One fixed-width interval of service activity on the modeled/epoch
+/// clock. `latency_counts` uses the shared metrics::seconds_buckets()
+/// ladder plus one trailing overflow bucket; `latency_min/max` carry the
+/// exact extremes so histogram-quantile estimates can be clamped (the x2
+/// bucket ladder alone would round a 14.9 ms p99 up to its 26.2 ms bucket
+/// edge).
+struct ServiceSample {
+  double t = 0.0;                 ///< end of the interval (epoch clock)
+  double interval_seconds = 0.0;  ///< width of the interval
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_lookups = 0;
+  std::uint64_t inflight = 0;  ///< admitted, not yet complete at t
+  std::vector<std::uint64_t> latency_counts;  ///< seconds ladder + overflow
+  double latency_min = 0.0;
+  double latency_max = 0.0;
+};
+
+enum class SloKind : std::uint8_t {
+  kLatencyP99,       ///< p99 latency <= target (seconds)
+  kDeadlineMissRate, ///< missed/completed <= target
+  kRejectRate,       ///< rejected/(completed+rejected) <= target
+  kWarmHitRate,      ///< warm hits/lookups >= target
+};
+
+struct SloObjective {
+  std::string name;  ///< the spec clause, e.g. "p99<=20ms"
+  SloKind kind = SloKind::kLatencyP99;
+  double target = 0.0;
+};
+
+/// A parsed `--slo=` spec: comma-separated clauses.
+///   p99<=50ms | p99<=2.5s | p99<=800us   latency p99 objective
+///   miss<=0.01                           deadline-miss rate
+///   reject<=0.05                         reject rate
+///   hit>=0.9                             warm-cache hit rate
+///   fast=N / slow=N                      burn-rate windows (samples)
+///   burn=X                               burn-rate alert threshold
+/// Unknown or malformed clauses raise gs::Error.
+struct SloSpec {
+  std::vector<SloObjective> objectives;
+  std::size_t fast_window = 4;
+  std::size_t slow_window = 16;
+  double burn_threshold = 1.0;
+
+  [[nodiscard]] static SloSpec parse(std::string_view spec);
+};
+
+/// End-of-run verdict for one objective, ranked by budget consumption.
+struct SloAttainment {
+  std::string name;
+  double target = 0.0;
+  double observed = 0.0;       ///< overall p99 / rate over the whole run
+  double attainment = 1.0;     ///< 1 - overall bad fraction
+  double budget_consumed = 0.0;///< bad fraction / error budget (>1 = blown)
+  double headroom = 0.0;       ///< (target-observed)/target, latency only
+  std::uint64_t alerts_fired = 0;
+  bool firing = false;         ///< alert still firing at end of run
+  bool violated = false;       ///< budget_consumed > 1
+};
+
+/// A firing/resolved edge on the sample clock.
+struct SloTransition {
+  std::string objective;
+  bool firing = false;
+  double t = 0.0;
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(SloSpec spec);
+
+  /// Judge one sample against every objective; returns the alert edges
+  /// (usually empty) so the caller can record them as timestamped events.
+  [[nodiscard]] std::vector<SloTransition> observe(const ServiceSample& s);
+
+  /// End-of-run verdicts, sorted by budget_consumed descending (the
+  /// objective closest to — or past — violation first).
+  [[nodiscard]] std::vector<SloAttainment> attainment() const;
+
+  /// True when any objective has blown its error budget.
+  [[nodiscard]] bool violated() const;
+
+  [[nodiscard]] const SloSpec& spec() const noexcept { return spec_; }
+
+ private:
+  struct BadTotal {
+    std::uint64_t bad = 0;
+    std::uint64_t total = 0;
+  };
+  struct State {
+    std::deque<BadTotal> window;  ///< last slow_window samples
+    std::uint64_t bad_sum = 0;    ///< running totals over the whole run
+    std::uint64_t total_sum = 0;
+    // Whole-run latency aggregate for the overall p99 verdict.
+    std::vector<std::uint64_t> latency_counts;
+    double latency_min = 0.0;
+    double latency_max = 0.0;
+    bool latency_seen = false;
+    std::uint64_t alerts_fired = 0;
+    bool firing = false;
+  };
+
+  [[nodiscard]] double error_budget(const SloObjective& o) const;
+  [[nodiscard]] static BadTotal judge(const SloObjective& o,
+                                      const ServiceSample& s);
+  [[nodiscard]] double window_burn(const State& st, std::size_t window,
+                                   double budget) const;
+
+  SloSpec spec_;
+  std::vector<State> states_;  ///< parallel to spec_.objectives
+};
+
+}  // namespace gs::telemetry

@@ -4,12 +4,13 @@
 #   cli_observability.sh <path-to-lp_cli> <source data dir>
 #
 # Checks, end to end against the real binary:
-#   1. Enabling --trace/--metrics/--check/--record/--profile individually
-#      or all at once leaves the solve bit-identical to a plain run
-#      (status, iterations, objective, modeled time), the recording
-#      written by the combined run is byte-identical to the record-only
-#      run, and the profile JSON (deterministic: modeled time only) is
-#      byte-identical between the solo and combined runs.
+#   1. Enabling --trace/--metrics/--check/--record/--profile/--telemetry
+#      individually or all at once leaves the solve bit-identical to a
+#      plain run (status, iterations, objective, modeled time), the
+#      recording written by the combined run is byte-identical to the
+#      record-only run, and the profile and telemetry JSON artifacts
+#      (deterministic: modeled time only) are byte-identical between the
+#      solo and combined runs.
 #   2. A record -> replay round trip verifies every decision with zero
 #      mismatches and reproduces the same solve.
 #   3. A float-vs-double pair on data/precision_tie.lp diverges at pivot 0
@@ -39,13 +40,16 @@ solve_lines() {
 "$LP_CLI" --gen $GEN --record=solo.gsrec >record.out || fail "--record run"
 "$LP_CLI" --gen $GEN --profile=prof_solo.json >profile.out \
   || fail "--profile run"
+"$LP_CLI" --gen $GEN --telemetry=tel_solo.json >telemetry.out \
+  || fail "--telemetry run"
 "$LP_CLI" --gen $GEN --trace trace_comb.json --metrics=metrics_comb.json \
-  --check --record=comb.gsrec --profile=prof_comb.json >combined.out \
+  --check --record=comb.gsrec --profile=prof_comb.json \
+  --telemetry=tel_comb.json >combined.out \
   || fail "combined run"
 
 solve_lines plain.out >expected.txt
 for f in trace.out metrics.out check.out record.out profile.out \
-         combined.out; do
+         telemetry.out combined.out; do
   solve_lines "$f" >got.txt
   diff expected.txt got.txt >/dev/null \
     || fail "$f: solve differs from plain run (observers must be inert)"
@@ -58,6 +62,10 @@ cmp -s prof_solo.json prof_comb.json \
   || fail "combined-run profile differs from profile-only run"
 test -s prof_solo.json.folded \
   || fail "--profile did not write the collapsed-stack flamegraph"
+cmp -s tel_solo.json tel_comb.json \
+  || fail "combined-run telemetry differs from telemetry-only run"
+grep -q 'gs-telemetry-v1' tel_solo.json \
+  || fail "telemetry artifact is missing its schema tag"
 
 # Record -> replay round trip.
 "$LP_CLI" --gen $GEN --replay=solo.gsrec >replay.out \

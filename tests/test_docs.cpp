@@ -152,4 +152,20 @@ TEST(Docs, ProfilerSectionIsDocumented) {
   EXPECT_NE(readme.find("--profile"), std::string::npos);
 }
 
+// Same contract for the telemetry pipeline and SLO engine:
+// OBSERVABILITY.md carries the "Telemetry" section with the schema name
+// and the burn-rate / error-budget vocabulary, and README's tour mentions
+// the --slo flag. These strings are load-bearing
+// (tests/test_telemetry.cpp, lp_cli and svc_traffic reference them).
+TEST(Docs, TelemetrySectionIsDocumented) {
+  const fs::path root(GS_SOURCE_DIR);
+  const std::string obs = read_file(root / "OBSERVABILITY.md");
+  EXPECT_NE(obs.find("## Telemetry"), std::string::npos);
+  EXPECT_NE(obs.find("gs-telemetry-v1"), std::string::npos);
+  EXPECT_NE(obs.find("burn-rate"), std::string::npos);
+  EXPECT_NE(obs.find("error budget"), std::string::npos);
+  const std::string readme = read_file(root / "README.md");
+  EXPECT_NE(readme.find("--slo"), std::string::npos);
+}
+
 }  // namespace
