@@ -108,6 +108,21 @@ int main(int argc, char** argv) {
                     capture.launches_captured()});
   }
 
+  // Same engine under the product-form basis: the eta-file kernel
+  // variants (sparse_ftran / sparse_btran / eta_apply / make_eta) must
+  // be as hazard-, uninit- and cost-clean as the explicit-inverse
+  // stream (DESIGN.md "Basis oracles").
+  {
+    vgpu::analyze::CaptureLog capture;
+    simplex::SolverOptions opt;
+    opt.analyzer = &capture;
+    opt.basis = simplex::BasisScheme::kProductForm;
+    (void)simplex::solve(sparse, simplex::Engine::kSparseRevised, opt, model);
+    runs.push_back({"sparse-revised<double> product-form",
+                    vgpu::analyze::analyze(capture),
+                    capture.launches_captured()});
+  }
+
   // Batch engine and a service-style round: both go through
   // BatchRevisedSimplex over a fresh Device, exactly as
   // service.cpp::run_job dispatches a batchable round.

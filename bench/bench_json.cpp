@@ -44,6 +44,9 @@ constexpr std::size_t kSweepSizes[] = {48, 64, 96, 128};
 constexpr std::size_t kServiceSizes[] = {48, 64};
 constexpr std::size_t kServiceTraffic = 64;
 constexpr std::size_t kBreakdownSize = 96;
+// Basis section: product-form oracle telemetry on a seeded sparse host
+// solve (eta growth, refactorization count, modeled sparse-FTRAN time).
+constexpr std::size_t kBasisSize = 96;
 // Memory section: buffer-lifetime budget captured by the static analyzer.
 constexpr std::size_t kMemorySize = 64;
 constexpr std::size_t kMemoryBatchK = 8;
@@ -266,6 +269,42 @@ int main(int argc, char** argv) {
     out += (s + 1 < profile_points.size()) ? "    },\n" : "    }\n";
   }
   out += "  ],\n";
+
+  // --- Product-form basis telemetry (host engine, sparse instance). -----
+  // eta_count / refactor_count are BUDGET_KEYS in compare_bench.py (5%
+  // band): the eta-file growth and the refactorization trigger are
+  // algorithmic contracts at fixed seeds, not noise. ftran_ms is gated
+  // as a runtime. Runs in --tiny too: one small host solve, and the
+  // counts are size-dependent, not subset-able.
+  {
+    const auto basis_problem = lp::random_sparse_lp({.rows = kBasisSize,
+                                                     .cols = 4 * kBasisSize,
+                                                     .density = 0.05,
+                                                     .seed = 2});
+    simplex::SolverOptions opt;
+    opt.basis = simplex::BasisScheme::kProductForm;
+    const auto r =
+        simplex::solve(basis_problem, simplex::Engine::kHostRevised, opt);
+    if (!r.optimal()) {
+      std::cerr << "basis-section solve failed at m=" << kBasisSize << "\n";
+      return 1;
+    }
+    const auto& pk = r.stats.device_stats.per_kernel;
+    const auto launches = [&](const char* k) {
+      const auto it = pk.find(k);
+      return it == pk.end() ? 0.0 : double(it->second.launches);
+    };
+    const auto step_ms = [&](const char* k) {
+      const auto it = pk.find(k);
+      return it == pk.end() ? 0.0 : it->second.sim_seconds * 1e3;
+    };
+    out += "  \"basis\": {\n";
+    append_kv(out, 4, "m", double(kBasisSize), true);
+    append_kv(out, 4, "eta_count", launches("eta_append"), true);
+    append_kv(out, 4, "refactor_count", launches("sparse_refactor"), true);
+    append_kv(out, 4, "ftran_ms", step_ms("sparse_ftran"), false);
+    out += "  },\n";
+  }
 
   // --- Buffer-lifetime budget per engine (static analyzer capture). -----
   // peak_live_bytes / alloc_count are BUDGET_KEYS in compare_bench.py:

@@ -62,7 +62,7 @@ import sys
 RUNTIME_SUFFIXES = ("_ms", "_seconds")
 RATE_SUFFIXES = ("_per_s",)
 BUDGET_KEYS = ("kernel_launches", "h2d_bytes", "peak_live_bytes",
-               "alloc_count")
+               "alloc_count", "eta_count", "refactor_count")
 WARNING_KEYS = ("warnings_total",)
 SLO_KEYS = ("attainment", "p99_headroom_frac")
 

@@ -1,0 +1,207 @@
+// Ext. F — basis-oracle scaling on sparse instances.
+//
+// The paper's explicit dense B^-1 charges O(m^2) per pivot regardless of
+// sparsity, which gates the dense oracle out of the m >= 4096 regime the
+// sparse service targets. The product-form oracle (sparse LU + eta file)
+// charges O(nnz) per pivot, so its cost tracks the instance density, not
+// the dimension squared. This harness drives both oracles directly —
+// same pivot sequence, same CostMeter machine — over seeded sparse bases
+// at m in {1k, 2k, 4k, 8k} and two densities, and asserts the headline
+// acceptance bound: at m = 4096 the product-form pivot cost must beat
+// the dense extrapolation (m^2 scaling from the largest measured dense
+// point) by at least 5x.
+//
+// The explicit oracle's modeled pivot cost is data-independent (2m^2
+// flops per BTRAN/FTRAN/update by construction), so it is measured at
+// m <= 2048 and extrapolated beyond — exactly the "gated out" story:
+// above the crossover you could not afford to run it anyway.
+#include <cmath>
+#include <cstdint>
+
+#include "bench/common.hpp"
+#include "simplex/basis/explicit_inverse.hpp"
+#include "simplex/basis/product_form.hpp"
+#include "simplex/cost_meter.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace gs;
+
+/// Seeded sparse basis in A^T layout (row j = basis column j): strictly
+/// diagonally dominant so every factorization succeeds, `per_col` off-
+/// diagonal entries per column on a contiguous band around the diagonal
+/// (random values, fixed structure). The structure matters: uniformly
+/// random positions make the LU fill in almost completely (dense-level
+/// work), which no real LP basis does — Markowitz ordering keeps
+/// practical bases low-fill, and the banded generator reproduces that
+/// low-fill regime while the dense oracle still pays O(m^2) per pivot.
+sparse::CsrMatrix<double> make_sparse_basis(std::size_t m,
+                                            std::size_t per_col,
+                                            std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::size_t half = std::max<std::size_t>(1, per_col / 2);
+  std::vector<std::uint32_t> offs{0};
+  std::vector<std::uint32_t> idx;
+  std::vector<double> val;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<std::pair<std::uint32_t, double>> entries;
+    double offsum = 0.0;
+    for (std::size_t d = 1; d <= half; ++d) {
+      for (const std::size_t pos : {j >= d ? j - d : m, j + d}) {
+        if (pos >= m) continue;
+        const double v =
+            (double(rng.next() >> 11) / double(1ULL << 53)) * 2.0 - 1.0;
+        entries.emplace_back(static_cast<std::uint32_t>(pos), v);
+        offsum += std::abs(v);
+      }
+    }
+    entries.emplace_back(static_cast<std::uint32_t>(j), offsum + 2.0);
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [r, v] : entries) {
+      idx.push_back(r);
+      val.push_back(v);
+    }
+    offs.push_back(static_cast<std::uint32_t>(idx.size()));
+  }
+  return sparse::CsrMatrix<double>(m, m, std::move(offs), std::move(idx),
+                                   std::move(val));
+}
+
+/// Run `pivots` BTRAN+FTRAN+update rounds through an oracle and return
+/// the modeled milliseconds the meter accumulated. The pivot sequence is
+/// deterministic (columns cycle with a fixed stride; the leaving row is
+/// the largest |alpha| entry), identical across oracles.
+double drive_pivots(simplex::basis::BasisOracle& oracle,
+                    const simplex::basis::ColumnSource& cols,
+                    const std::vector<std::uint32_t>& basis,
+                    simplex::CostMeter& meter, std::size_t pivots) {
+  const std::size_t m = oracle.dim();
+  std::vector<double> colbuf(m), alpha(m), cb(m, 0.0), pi(m);
+  const double t0 = meter.sim_seconds();
+  for (std::size_t k = 0; k < pivots; ++k) {
+    cb[(k * 7) % m] = 1.0;
+    oracle.btran(cb, pi);
+    cb[(k * 7) % m] = 0.0;
+    const std::uint32_t q = static_cast<std::uint32_t>((k * 17 + 3) % m);
+    std::fill(colbuf.begin(), colbuf.end(), 0.0);
+    cols.gather(q, colbuf);
+    oracle.ftran(colbuf, alpha);
+    std::size_t p = 0;
+    for (std::size_t i = 1; i < m; ++i) {
+      if (std::abs(alpha[i]) > std::abs(alpha[p])) p = i;
+    }
+    if (std::abs(alpha[p]) < 1e-9) continue;
+    oracle.update(p, alpha);
+    if (oracle.wants_refactor()) {
+      if (!oracle.refactorize(basis)) return -1.0;
+    }
+  }
+  return (meter.sim_seconds() - t0) * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header(
+      "Ext.F: basis-oracle pivot cost on sparse instances (host model)",
+      "product-form pivots cost O(nnz) and win by >=5x at m=4096 where "
+      "the dense inverse's O(m^2) pivots are gated out");
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{256, 512}
+            : std::vector<std::size_t>{1024, 2048, 4096, 8192};
+  const std::size_t dense_cap = quick ? 256 : 2048;
+  const std::vector<double> densities{0.001, 0.004};
+  const std::size_t kPivots = 40;
+
+  Table table({"m", "density", "oracle", "etas", "refactors",
+               "pivot cost [ms]", "speedup vs dense"});
+  // Largest measured dense point per density, for the m^2 extrapolation.
+  struct DensePoint {
+    std::size_t m = 0;
+    double ms = 0.0;
+  };
+  bool gate_ok = true;
+  for (const double density : densities) {
+    DensePoint dense_last;
+    for (const std::size_t m : sizes) {
+      const std::size_t per_col =
+          std::max<std::size_t>(2, std::size_t(density * double(m)));
+      const auto at = make_sparse_basis(m, per_col, 1234 + m);
+      const simplex::basis::CsrColumnSource cols(at);
+      std::vector<std::uint32_t> basis(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        basis[i] = static_cast<std::uint32_t>(i);
+      }
+      simplex::SolverOptions opt;
+
+      double dense_ms = -1.0;
+      bool dense_measured = false;
+      if (m <= dense_cap) {
+        // The crash seed is a unit diagonal: the modeled pivot cost of
+        // the explicit oracle does not depend on the inverse's values.
+        std::vector<double> diag(m, 1.0);
+        simplex::CostMeter meter(vgpu::cpu2009_model());
+        simplex::basis::ExplicitInverseOracle dense(m, diag, cols, meter,
+                                                    opt);
+        dense_ms = drive_pivots(dense, cols, basis, meter, kPivots);
+        dense_measured = true;
+        dense_last = {m, dense_ms};
+        table.new_row()
+            .add(m)
+            .add(density)
+            .add("explicit-inverse")
+            .add(std::size_t{0})
+            .add(std::size_t{0})
+            .add(dense_ms)
+            .add(1.0);
+      } else if (dense_last.m > 0) {
+        const double scale = double(m) / double(dense_last.m);
+        dense_ms = dense_last.ms * scale * scale;
+        table.new_row()
+            .add(m)
+            .add(density)
+            .add("explicit-inverse (extrapolated m^2)")
+            .add(std::size_t{0})
+            .add(std::size_t{0})
+            .add(dense_ms)
+            .add(1.0);
+      }
+
+      simplex::CostMeter meter(vgpu::cpu2009_model());
+      simplex::basis::ProductFormOracle pf(m, basis, cols, meter, opt);
+      const double pf_ms = drive_pivots(pf, cols, basis, meter, kPivots);
+      if (pf_ms < 0.0) {
+        std::cerr << "product-form refactorization failed at m=" << m
+                  << "\n";
+        return 1;
+      }
+      const double speedup = dense_ms > 0.0 ? dense_ms / pf_ms : 0.0;
+      table.new_row()
+          .add(m)
+          .add(density)
+          .add("product-form")
+          .add(pf.eta_count())
+          .add(pf.refactor_count())
+          .add(pf_ms)
+          .add(speedup);
+      if (!quick && m == 4096 && !dense_measured && speedup < 5.0) {
+        std::cerr << "GATE FAIL: product-form pivots only " << speedup
+                  << "x faster than the dense extrapolation at m=4096 "
+                     "(density "
+                  << density << "); acceptance requires >=5x\n";
+        gate_ok = false;
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::write_csv("extf_sparse_basis", table);
+  if (!gate_ok) return 1;
+  std::cout << (quick ? "[extf] quick mode: gate skipped\n"
+                      : "[extf] m=4096 product-form >=5x gate passed\n");
+  return 0;
+}

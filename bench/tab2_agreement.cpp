@@ -38,7 +38,8 @@ int main(int, char**) {
   constexpr Engine kEngines[] = {Engine::kDeviceRevised,
                                  Engine::kDeviceRevisedFloat,
                                  Engine::kHostRevised, Engine::kTableau,
-                                 Engine::kSparseRevised};
+                                 Engine::kSparseRevised,
+                                 Engine::kDualRevised};
 
   Table table({"problem", "engine", "status", "objective", "iters",
                "phase1", "sim [ms]"});

@@ -201,6 +201,27 @@ echo "==> telemetry + SLO gates"
     | grep 'telemetry: wrote'
 )
 
+# Basis-oracle + dual-engine gates (DESIGN.md "Basis oracles",
+# SERVICE.md warm-start): the static analyzer and roofline profiler must
+# account the dual engine and the product-form device path natively —
+# analyze_gate covers the sparse/product-form kernel stream, and the
+# profiler must reconcile bit-exactly over both. The Klee–Minty cube is
+# the classic exponential-path/cycling stressor: the dual engine must
+# finish it optimally (anti-cycling smoke) rather than stall.
+echo "==> basis-oracle + dual-engine gates"
+(
+  cd build
+  ./bench/analyze_gate --tiny
+  ./examples/lp_cli --gen dense:32:11 --engine dual \
+    --profile=ci_dual_profile.json \
+    | grep 'profile: reconciled bit-exactly'
+  ./examples/lp_cli --gen sparse:96:7 --engine sparse --basis product-form \
+    --profile=ci_pf_profile.json \
+    | grep 'profile: reconciled bit-exactly'
+  ./examples/lp_cli --gen klee:12 --engine dual \
+    | grep -i 'status: *optimal'
+)
+
 run_config build-asan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=address,undefined
 run_config build-tsan   -DCMAKE_BUILD_TYPE=Debug -DGS_SANITIZE=thread
 

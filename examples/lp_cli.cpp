@@ -2,7 +2,8 @@
 //
 //   lp_cli <model.{lp,mps}> [options]
 //   lp_cli --gen dense:<size>[:seed] [options]
-//     --engine device|device-float|host|tableau|sparse   (default device)
+//     --engine device|device-float|host|dual|tableau|sparse
+//                                                        (default device)
 //     --pricing dantzig|bland|hybrid|devex               (default hybrid)
 //     --basis explicit|product-form|lu                   (default explicit)
 //     --device gtx280|gtx570|titan                       (default gtx280)
@@ -16,6 +17,11 @@
 //     --gen dense:<size>[:seed]                          solve a generated
 //                                                        dense random LP
 //                                                        instead of a file
+//     --gen sparse:<size>[:seed]                         netlib-like sparse
+//                                                        random LP (2x cols,
+//                                                        2% density)
+//     --gen klee:<d>                                     Klee-Minty cube of
+//                                                        dimension d
 //     --trace <file.json>                                write a Chrome
 //                                                        trace (see
 //                                                        OBSERVABILITY.md)
@@ -168,31 +174,55 @@ int usage() {
   return 1;
 }
 
-/// Parse "dense:<size>[:seed]" into a generated instance. The seed lands in
-/// `seed_out` so `--record` can stamp it into the recording header.
+/// Parse "dense:<size>[:seed]", "sparse:<size>[:seed]" or "klee:<d>" into
+/// a generated instance. The seed lands in `seed_out` so `--record` can
+/// stamp it into the recording header.
 std::optional<lp::LpProblem> parse_gen(const std::string& spec,
                                        std::uint64_t& seed_out) {
-  if (!spec.starts_with("dense:")) return std::nullopt;
-  const std::string rest = spec.substr(6);
-  const std::size_t colon = rest.find(':');
   try {
-    lp::DenseLpSpec gen;
-    gen.rows = gen.cols = std::stoul(rest.substr(0, colon));
-    if (colon != std::string::npos) {
-      gen.seed = std::stoul(rest.substr(colon + 1));
+    if (spec.starts_with("dense:")) {
+      const std::string rest = spec.substr(6);
+      const std::size_t colon = rest.find(':');
+      lp::DenseLpSpec gen;
+      gen.rows = gen.cols = std::stoul(rest.substr(0, colon));
+      if (colon != std::string::npos) {
+        gen.seed = std::stoul(rest.substr(colon + 1));
+      }
+      if (gen.rows == 0) return std::nullopt;
+      seed_out = gen.seed;
+      return lp::random_dense_lp(gen);
     }
-    if (gen.rows == 0) return std::nullopt;
-    seed_out = gen.seed;
-    return lp::random_dense_lp(gen);
+    if (spec.starts_with("sparse:")) {
+      const std::string rest = spec.substr(7);
+      const std::size_t colon = rest.find(':');
+      lp::SparseLpSpec gen;
+      gen.rows = std::stoul(rest.substr(0, colon));
+      gen.cols = 2 * gen.rows;
+      gen.density = 0.02;
+      if (colon != std::string::npos) {
+        gen.seed = std::stoul(rest.substr(colon + 1));
+      }
+      if (gen.rows == 0) return std::nullopt;
+      seed_out = gen.seed;
+      return lp::random_sparse_lp(gen);
+    }
+    if (spec.starts_with("klee:")) {
+      const std::size_t d = std::stoul(spec.substr(5));
+      if (d == 0 || d > 24) return std::nullopt;
+      seed_out = d;
+      return lp::klee_minty(d);
+    }
   } catch (const std::exception&) {
     return std::nullopt;
   }
+  return std::nullopt;
 }
 
 /// Map a recording header's engine string back to an Engine (for --replay
 /// without an explicit --engine).
 std::optional<simplex::Engine> engine_from_header(const std::string& name) {
   if (name == "host-revised") return simplex::Engine::kHostRevised;
+  if (name == "dual-revised") return simplex::Engine::kDualRevised;
   if (name == "tableau") return simplex::Engine::kTableau;
   if (name == "device-revised<double>") return simplex::Engine::kDeviceRevised;
   if (name == "device-revised<float>") {
@@ -540,6 +570,7 @@ int main(int argc, char** argv) {
     if (auto it = flags.find("engine"); it != flags.end()) {
       const std::string& e = it->second;
       engine = e == "host"           ? simplex::Engine::kHostRevised
+               : e == "dual"         ? simplex::Engine::kDualRevised
                : e == "tableau"      ? simplex::Engine::kTableau
                : e == "sparse"       ? simplex::Engine::kSparseRevised
                : e == "device-float" ? simplex::Engine::kDeviceRevisedFloat

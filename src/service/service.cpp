@@ -209,7 +209,7 @@ void SolveService::drain() {
 
     // Crossover-aware singles, in submission order. A cached optimal
     // basis of the same shape (different digest: a perturbed repeat)
-    // routes to the host engine as a warm start; otherwise the measured
+    // routes to the dual engine as a warm start; otherwise the measured
     // crossover decides host vs device.
     for (std::size_t i = 0; i < items.size(); ++i) {
       Item& it = items[i];
@@ -280,7 +280,15 @@ void SolveService::drain() {
         if (job.route == Route::kDevice) {
           engine = simplex::Engine::kDeviceRevised;
         }
-        if (job.route == Route::kWarmBasis) opt.warm_basis = &job.warm_basis;
+        if (job.route == Route::kWarmBasis) {
+          // Perturbed repeats go to the dual engine: a neighbour's optimal
+          // basis stays dual feasible under rhs drift, so the re-solve
+          // repairs primal feasibility in a few dual pivots instead of
+          // re-running phase 1 (the dual engine itself falls back to the
+          // primal host engine when the cached basis is rejected).
+          opt.warm_basis = &job.warm_basis;
+          engine = simplex::Engine::kDualRevised;
+        }
         job.results.push_back(simplex::solve(p.request.problem, engine, opt,
                                              device_model_, host_model_));
       }

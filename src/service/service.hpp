@@ -10,7 +10,10 @@
 //     warm cache  serves exact repeats (same decision digest) from the
 //                 memoized optimal result and seeds perturbed repeats
 //                 (same shape, different digest) with the prior optimal
-//                 basis via SolverOptions::warm_basis.
+//                 basis via SolverOptions::warm_basis, dispatched to the
+//                 dual revised engine (a cached optimal basis stays dual
+//                 feasible under rhs perturbation, so the re-solve skips
+//                 phase 1 entirely).
 //
 // The service is drain-driven: requests are admitted at any time from any
 // thread; drain() processes everything admitted so far and blocks until
@@ -83,8 +86,8 @@ enum class Route : std::uint8_t {
   kDevice,     ///< single solve, device engine (m at/above the crossover)
   kBatch,      ///< lane of a batch-engine round
   kWarmHit,    ///< exact digest repeat: memoized result, no solve ran
-  kWarmBasis,  ///< perturbed repeat: host engine warm-started from a
-               ///< cached optimal basis
+  kWarmBasis,  ///< perturbed repeat: dual engine warm-started from a
+               ///< cached optimal basis (dual feasible under rhs drift)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Route r) noexcept {

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <vector>
 
 #include "simplex/phase_setup.hpp"
@@ -161,6 +162,11 @@ void combine_leaving(vgpu::Device& dev,
 template <typename Real>
 class DenseAt {
  public:
+  /// Dense storage keeps the paper's m-proportional kernel names; the
+  /// sparse basis-kernel variants (sparse_ftran / sparse_btran /
+  /// eta_apply) only make sense when column extents are known.
+  static constexpr bool kSparseKernels = false;
+
   DenseAt(vgpu::Device& dev, const AugmentedLp& aug)
       : m_(aug.m), n_aug_(aug.n_aug), at_(dev, host_at(aug)) {}
 
@@ -183,14 +189,16 @@ class DenseAt {
   }
 
   /// alpha = B^-1 a_q (dense gemv against the contiguous column a_q).
+  /// `name` lets basis schemes label their FTRAN variant in the stream.
   void ftran_alpha(const vblas::DeviceMatrix<Real>& binv, std::size_t q,
-                   vgpu::DeviceBuffer<Real>& alpha) const {
+                   vgpu::DeviceBuffer<Real>& alpha,
+                   std::string_view name = "ftran") const {
     const std::size_t m = m_;
     auto at = at_.device_span();
     auto bs = binv.device_span();
     auto as = alpha.device_span();
     device().launch_blocks(
-        "ftran", m, vgpu::Device::kBlockSize,
+        name, m, vgpu::Device::kBlockSize,
         {2.0 * double(m) * double(m),
          double((m * m + 2 * m) * sizeof(Real)), sizeof(Real)},
         [&](std::size_t, std::size_t lo, std::size_t hi) {
@@ -429,6 +437,10 @@ class DenseAt {
 template <typename Real>
 class SparseAt {
  public:
+  /// CSR storage opts the product-form basis into the sparse kernel
+  /// variants (sparse_ftran / sparse_btran / eta_apply).
+  static constexpr bool kSparseKernels = true;
+
   SparseAt(vgpu::Device& dev, const AugmentedLp& aug)
       : m_(aug.m), n_aug_(aug.n_aug), at_(dev, host_csr(aug)) {
     // Widest column, for declaring fused-kernel costs when the entering
@@ -456,9 +468,12 @@ class SparseAt {
   }
 
   /// alpha_i = sum_k a_q[k] * binv(i, col_k): sparse column against the
-  /// dense inverse, cost proportional to m * nnz(a_q).
+  /// dense inverse, cost proportional to m * nnz(a_q). The product-form
+  /// basis launches this as "sparse_ftran" so the checker/analyzer/
+  /// profiler see the scheme's base solve as its own kernel.
   void ftran_alpha(const vblas::DeviceMatrix<Real>& binv, std::size_t q,
-                   vgpu::DeviceBuffer<Real>& alpha) const {
+                   vgpu::DeviceBuffer<Real>& alpha,
+                   std::string_view name = "ftran") const {
     const std::size_t m = m_;
     auto offs = at_.row_offsets().device_span();
     auto cols = at_.col_indices().device_span();
@@ -470,7 +485,7 @@ class SparseAt {
     const std::uint32_t k_hi = offs[q + 1];
     const std::size_t nnz_q = k_hi - k_lo;
     device().launch_blocks(
-        "ftran", m, vgpu::Device::kBlockSize,
+        name, m, vgpu::Device::kBlockSize,
         {2.0 * double(m) * double(nnz_q),
          double(m * nnz_q * sizeof(Real) +
                 nnz_q * (sizeof(Real) + sizeof(std::uint32_t)) +

@@ -290,11 +290,16 @@ class DeviceRevisedSimplex {
     /// entering/leaving decisions, filled on device, fetched with one d2h.
     vgpu::DeviceBuffer<Real> desc;
 
-    /// Product-form eta file: (pivot row, eta vector) per pivot since the
-    /// last reinversion.
+    /// Product-form eta file: one entry per pivot since the last
+    /// reinversion. Dense schemes keep the full m-vector in `values`;
+    /// the sparse-kernel scheme (SparseAt + product form) stores only the
+    /// eta's support as (idx, val) pairs so the eta_apply kernels cost
+    /// nnz instead of m.
     struct Eta {
       std::size_t p;
-      vgpu::DeviceBuffer<Real> values;
+      std::optional<vgpu::DeviceBuffer<Real>> values;
+      std::optional<vgpu::DeviceBuffer<std::uint32_t>> idx;
+      std::optional<vgpu::DeviceBuffer<Real>> val;
     };
     std::vector<Eta> etas;
 
@@ -319,6 +324,8 @@ class DeviceRevisedSimplex {
   void btran_generic(Workspace& ws, const vgpu::DeviceBuffer<Real>& seed,
                      vgpu::DeviceBuffer<Real>& out) {
     const bool with_etas = !ws.etas.empty();
+    const bool sparse_pf = At<Real>::kSparseKernels &&
+                           ws.options.basis == BasisScheme::kProductForm;
     if ((ws.options.basis == BasisScheme::kProductForm && with_etas) ||
         ws.options.basis == BasisScheme::kLuFactors) {
       // y = seed; apply eta transposes newest-first; then (B0^-1)^T y.
@@ -335,9 +342,13 @@ class DeviceRevisedSimplex {
       }
       if (ws.options.basis == BasisScheme::kLuFactors) {
         lu_btran_tail(ws, out);
+      } else if (sparse_pf) {
+        btran_sparse_base(ws, ws.eta_work, out);
       } else {
         btran_dense(ws, ws.eta_work, out);
       }
+    } else if (sparse_pf) {
+      btran_sparse_base(ws, seed, out);
     } else {
       btran_dense(ws, seed, out);
     }
@@ -368,11 +379,44 @@ class DeviceRevisedSimplex {
         });
   }
 
+  /// Sparse-kernel BTRAN base: same arithmetic as btran_dense (the zero
+  /// rows of y are skipped either way), but launched as "sparse_btran"
+  /// with cost declared from the seed's observed support — nnz(y) rows of
+  /// B0^-1 stream instead of all m. The support count is host metadata,
+  /// like the CSR extents in SparseAt.
+  void btran_sparse_base(Workspace& ws, const vgpu::DeviceBuffer<Real>& y,
+                         vgpu::DeviceBuffer<Real>& out) {
+    const std::size_t m = ws.m;
+    const std::span<const Real> yh = y.host_view();
+    std::size_t nnz_y = 0;
+    for (std::size_t i = 0; i < m; ++i) nnz_y += yh[i] != Real{0} ? 1 : 0;
+    auto binv = ws.binv.device_span();
+    auto ysp = y.device_span();
+    auto pisp = out.device_span();
+    dev_.launch_blocks(
+        "sparse_btran", m, vgpu::Device::kBlockSize,
+        {2.0 * double(nnz_y) * double(m),
+         bytes(nnz_y * m + 2 * m), sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) pisp[j] = Real{0};
+          for (std::size_t i = 0; i < m; ++i) {
+            const Real yi = ysp[i];
+            if (yi == Real{0}) continue;
+            binv.read_range(i * m + lo, i * m + hi);
+            const Real* row = binv.data() + i * m;
+            for (std::size_t j = lo; j < hi; ++j) pisp[j] += yi * row[j];
+          }
+        });
+  }
+
   /// alpha = B^-1 a_q (FTRAN). Under product form / LU: B0^-1 a_q via the
   /// dense inverse or the LU solves, then the eta chain in order.
   void ftran(Workspace& ws, std::size_t q) {
     if (ws.options.basis == BasisScheme::kLuFactors) {
       lu_ftran_head(ws, q);
+    } else if (At<Real>::kSparseKernels &&
+               ws.options.basis == BasisScheme::kProductForm) {
+      ws.at.ftran_alpha(ws.binv, q, ws.alpha, "sparse_ftran");
     } else {
       ws.at.ftran_alpha(ws.binv, q, ws.alpha);
     }
@@ -458,8 +502,12 @@ class DeviceRevisedSimplex {
   /// snapshotted by a tiny kernel first so all lanes read the pre-update
   /// value (as the CUDA original would).
   void eta_ftran_apply(Workspace& ws, const typename Workspace::Eta& eta) {
+    if (eta.idx.has_value()) {
+      eta_ftran_apply_sparse(ws, eta);
+      return;
+    }
     auto xsp = ws.alpha.device_span();
-    auto esp = eta.values.device_span();
+    auto esp = eta.values->device_span();
     auto tmp = ws.scalar_tmp.device_span();
     const std::size_t p = eta.p;
     dev_.launch_blocks("eta_snapshot", 1, 1, {0.0, bytes(2), sizeof(Real)},
@@ -477,10 +525,45 @@ class DeviceRevisedSimplex {
         });
   }
 
+  /// Sparse eta_apply (FTRAN direction): only the eta's support is
+  /// touched, so the launch costs nnz flops/bytes instead of m. Each
+  /// entry has one writer (support indices are unique) — race-free under
+  /// the checker.
+  void eta_ftran_apply_sparse(Workspace& ws,
+                              const typename Workspace::Eta& eta) {
+    auto xsp = ws.alpha.device_span();
+    auto isp = eta.idx->device_span();
+    auto vsp = eta.val->device_span();
+    auto tmp = ws.scalar_tmp.device_span();
+    const std::size_t p = eta.p;
+    const std::size_t nnz = eta.val->size();
+    dev_.launch_blocks("eta_snapshot", 1, 1, {0.0, bytes(2), sizeof(Real)},
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         tmp[0] = xsp[p];
+                       });
+    dev_.launch_blocks(
+        "eta_apply", nnz, vgpu::Device::kBlockSize,
+        {2.0 * double(nnz),
+         double(nnz * (2 * sizeof(Real) + sizeof(std::uint32_t)) +
+                nnz * sizeof(Real) + 2 * sizeof(Real)),
+         sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          const Real xp = tmp[0];
+          for (std::size_t k = lo; k < hi; ++k) {
+            const std::size_t i = isp[k];
+            xsp[i] = (i == p) ? vsp[k] * xp : xsp[i] + vsp[k] * xp;
+          }
+        });
+  }
+
   /// Product-form BTRAN step on ws.eta_work: y_p = eta . y.
   void eta_btran_apply(Workspace& ws, const typename Workspace::Eta& eta) {
+    if (eta.idx.has_value()) {
+      eta_btran_apply_sparse(ws, eta);
+      return;
+    }
     auto ysp = ws.eta_work.device_span();
-    auto esp = eta.values.device_span();
+    auto esp = eta.values->device_span();
     const std::size_t m = ws.m;
     const std::size_t blocks =
         (m + vgpu::Device::kBlockSize - 1) / vgpu::Device::kBlockSize;
@@ -491,6 +574,39 @@ class DeviceRevisedSimplex {
         [&](std::size_t blk, std::size_t lo, std::size_t hi) {
           Real acc{0};
           for (std::size_t i = lo; i < hi; ++i) acc += esp[i] * ysp[i];
+          partial[blk] = acc;
+        });
+    const std::size_t p = eta.p;
+    dev_.launch_blocks("eta_btran_write", 1, 1,
+                       {double(blocks), bytes(blocks + 1), sizeof(Real)},
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         Real acc{0};
+                         for (std::size_t b = 0; b < blocks; ++b)
+                           acc += partial[b];
+                         ysp[p] = acc;
+                       });
+  }
+
+  /// Sparse eta_apply (BTRAN direction): the dot runs over the eta's
+  /// support only; the per-block partials combine in the same tiny write
+  /// kernel as the dense path.
+  void eta_btran_apply_sparse(Workspace& ws,
+                              const typename Workspace::Eta& eta) {
+    auto ysp = ws.eta_work.device_span();
+    auto isp = eta.idx->device_span();
+    auto vsp = eta.val->device_span();
+    const std::size_t nnz = eta.val->size();
+    const std::size_t blocks =
+        (nnz + vgpu::Device::kBlockSize - 1) / vgpu::Device::kBlockSize;
+    std::vector<Real> partial(blocks, Real{0});
+    dev_.launch_blocks(
+        "eta_apply", nnz, vgpu::Device::kBlockSize,
+        {2.0 * double(nnz),
+         double(nnz * (2 * sizeof(Real) + sizeof(std::uint32_t))),
+         sizeof(Real)},
+        [&](std::size_t blk, std::size_t lo, std::size_t hi) {
+          Real acc{0};
+          for (std::size_t k = lo; k < hi; ++k) acc += vsp[k] * ysp[isp[k]];
           partial[blk] = acc;
         });
     const std::size_t p = eta.p;
@@ -683,6 +799,11 @@ class DeviceRevisedSimplex {
 
   /// Product-form: append the eta for this pivot instead of updating B^-1.
   void append_eta(Workspace& ws, std::size_t p, Real alpha_p) {
+    if (At<Real>::kSparseKernels &&
+        ws.options.basis == BasisScheme::kProductForm) {
+      append_eta_sparse(ws, p, alpha_p);
+      return;
+    }
     vgpu::DeviceBuffer<Real> eta(dev_, ws.m);
     auto asp = ws.alpha.device_span();
     auto esp = eta.device_span();
@@ -696,6 +817,39 @@ class DeviceRevisedSimplex {
           }
         });
     ws.etas.push_back({p, std::move(eta)});
+  }
+
+  /// Sparse-kernel eta append: the support is alpha's nonzero pattern.
+  /// The index list is host metadata (the CUDA original would run a
+  /// stream compaction; like the CSR extents in SparseAt it is read
+  /// outside the machine model), while the eta values themselves are
+  /// computed on device from alpha so the arithmetic stays in-model.
+  void append_eta_sparse(Workspace& ws, std::size_t p, Real alpha_p) {
+    const std::span<const Real> ah = ws.alpha.host_view();
+    std::vector<std::uint32_t> support;
+    for (std::uint32_t i = 0; i < ws.m; ++i) {
+      if (ah[i] != Real{0} || i == p) support.push_back(i);
+    }
+    const std::size_t nnz = support.size();
+    vgpu::DeviceBuffer<std::uint32_t> idx(
+        dev_, std::span<const std::uint32_t>(support));
+    vgpu::DeviceBuffer<Real> val(dev_, nnz);
+    auto asp = ws.alpha.device_span();
+    auto isp = idx.device_span();
+    auto vsp = val.device_span();
+    dev_.launch_blocks(
+        "make_eta", nnz, vgpu::Device::kBlockSize,
+        {double(nnz),
+         double(nnz * (2 * sizeof(Real) + sizeof(std::uint32_t))),
+         sizeof(Real)},
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          const Real inv = Real{1} / alpha_p;
+          for (std::size_t k = lo; k < hi; ++k) {
+            const std::size_t i = isp[k];
+            vsp[k] = (i == p) ? inv : -asp[i] * inv;
+          }
+        });
+    ws.etas.push_back({p, std::nullopt, std::move(idx), std::move(val)});
   }
 
   /// Assemble the current basis matrix from the augmented problem's rows.

@@ -1,0 +1,518 @@
+#include "simplex/dual_revised.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "metrics/health.hpp"
+#include "profile/profile.hpp"
+#include "simplex/basis/basis_oracle.hpp"
+#include "simplex/basis/explicit_inverse.hpp"
+#include "simplex/basis/product_form.hpp"
+#include "simplex/cost_meter.hpp"
+#include "simplex/host_revised.hpp"
+#include "simplex/phase_setup.hpp"
+#include "support/timer.hpp"
+#include "trace/trace.hpp"
+#include "vblas/containers.hpp"
+
+namespace gs::simplex {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mutable dual-solve state. Same shape as the host engine's, with the
+/// dual extras: the pivot row `arow` (a_j^T rho over nonbasic j) and the
+/// dual-Devex-lite reference weights `w`.
+struct DualState {
+  DualState(const AugmentedLp& aug_in, const SolverOptions& opt_in,
+            CostMeter& meter_in)
+      : aug(aug_in),
+        m(aug_in.m),
+        n_aug(aug_in.n_aug),
+        at(aug_in.dense_at()),
+        cols(at),
+        beta(aug_in.beta_init),
+        pi(m),
+        d(n_aug),
+        alpha(m),
+        arow(n_aug),
+        w(m, 1.0),
+        colbuf(m),
+        cb(m),
+        basic(aug_in.basic),
+        in_basis(n_aug, false),
+        opt(opt_in),
+        meter(meter_in) {
+    if (opt.basis == BasisScheme::kExplicitInverse) {
+      oracle = std::make_unique<basis::ExplicitInverseOracle>(
+          m, aug.binv_diag, cols, meter, opt);
+    } else {
+      oracle = std::make_unique<basis::ProductFormOracle>(m, basic, cols,
+                                                          meter, opt);
+    }
+    for (std::uint32_t col : basic) in_basis[col] = true;
+  }
+
+  [[nodiscard]] bool may_enter(std::size_t j) const {
+    return !in_basis[j] && !aug.is_artificial[j];
+  }
+
+  [[nodiscard]] double objective() const {
+    double z = 0.0;
+    for (std::size_t i = 0; i < m; ++i) z += c[basic[i]] * beta[i];
+    return z;
+  }
+
+  const AugmentedLp& aug;
+  std::size_t m, n_aug;
+  vblas::Matrix<double> at;  ///< A^T augmented (n_aug x m)
+  basis::DenseColumnSource cols;
+  std::unique_ptr<basis::BasisOracle> oracle;
+  std::vector<double> beta, pi, d, alpha, arow, w;
+  std::vector<double> colbuf, cb;
+  std::vector<std::uint32_t> basic;
+  std::vector<bool> in_basis;
+  std::vector<double> c;  ///< working costs (may carry dual-feasibility shifts)
+  const SolverOptions& opt;
+  CostMeter& meter;
+};
+
+void btran(DualState& s) {
+  for (std::size_t i = 0; i < s.m; ++i) s.cb[i] = s.c[s.basic[i]];
+  s.oracle->btran(s.cb, s.pi);
+}
+
+void price(DualState& s) {
+  for (std::size_t j = 0; j < s.n_aug; ++j) {
+    if (!s.may_enter(j)) {
+      s.d[j] = 0.0;
+      continue;
+    }
+    const auto col = s.at.row(j);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < s.m; ++i) acc += col[i] * s.pi[i];
+    s.d[j] = s.c[j] - acc;
+  }
+  s.meter.charge("price_reduced", 2.0 * double(s.n_aug) * double(s.m),
+                 double((s.n_aug * s.m + 3 * s.n_aug) * sizeof(double)));
+}
+
+void ftran(DualState& s, std::size_t q) {
+  for (std::size_t k = 0; k < s.m; ++k) s.colbuf[k] = s.at(q, k);
+  s.oracle->ftran(s.colbuf, s.alpha);
+}
+
+/// Fold the eta file back into fresh factors when the oracle asks.
+void maybe_refactor(DualState& s, SolverStats& stats) {
+  if (!s.oracle->wants_refactor()) return;
+  if (s.oracle->refactorize(s.basic)) {
+    if (record::Recorder* rec = s.opt.recorder) {
+      rec->record_refactor(stats.iterations);
+    }
+  }
+}
+
+enum class DualExit {
+  kPrimalFeasible,   ///< all beta >= -tol: the dual method's optimum
+  kPrimalInfeasible, ///< dual ratio test found no pivot: no feasible point
+  kIterationLimit,
+  kNumericalTrouble,
+};
+
+/// The dual loop: walk dual-feasible bases until primal feasibility.
+/// Leaving row by dual-Devex-lite (max beta_r^2 / w_r among beta_r < -tol)
+/// with a Bland fallback (lowest infeasible row) during degeneracy
+/// streaks; entering column by the dual ratio test min d_j / -alpha_rj
+/// over alpha_rj < -pivot_tol, ties to the lowest column index.
+DualExit dual_loop(DualState& s, std::size_t budget, SolverStats& stats,
+                   metrics::HealthMonitor& health) {
+  const trace::Track& tr = s.meter.trace();
+  const auto clock = [&s] { return s.meter.sim_seconds(); };
+  const double tol = s.opt.opt_tol;
+  std::size_t since_improve = 0;
+  for (std::size_t iter = 0; iter < budget; ++iter) {
+    const bool bland =
+        s.opt.pricing == PricingRule::kBland ||
+        (s.opt.pricing != PricingRule::kBland &&
+         since_improve >= s.opt.degeneracy_window);
+    trace::ScopedSpan iter_span(tr, "dual_iteration", clock, "iteration",
+                                {{"iter", static_cast<double>(iter)}});
+    // ---- leaving row ----
+    std::size_t r = s.m;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < s.m; ++i) {
+      if (s.beta[i] >= -tol) continue;
+      if (bland) {
+        r = i;
+        break;
+      }
+      const double score = s.beta[i] * s.beta[i] / s.w[i];
+      if (score > best_score) {
+        best_score = score;
+        r = i;
+      }
+    }
+    s.meter.charge("dual_pricing", 2.0 * double(s.m),
+                   double(3 * s.m * sizeof(double)));
+    if (r == s.m) return DualExit::kPrimalFeasible;
+    // ---- rho = B^-T e_r, then the pivot row alpha_r = A^T rho ----
+    std::fill(s.cb.begin(), s.cb.end(), 0.0);
+    s.cb[r] = 1.0;
+    s.oracle->btran(s.cb, s.pi);
+    for (std::size_t j = 0; j < s.n_aug; ++j) {
+      if (!s.may_enter(j)) {
+        s.arow[j] = 0.0;
+        continue;
+      }
+      const auto col = s.at.row(j);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < s.m; ++i) acc += col[i] * s.pi[i];
+      s.arow[j] = acc;
+    }
+    s.meter.charge("dual_pivot_row", 2.0 * double(s.n_aug) * double(s.m),
+                   double((s.n_aug * s.m + 2 * s.n_aug) * sizeof(double)));
+    // ---- dual ratio test ----
+    std::size_t q = s.n_aug;
+    double best_ratio = kInf;
+    std::uint32_t ties = 0;
+    for (std::size_t j = 0; j < s.n_aug; ++j) {
+      if (s.arow[j] >= -s.opt.pivot_tol || !s.may_enter(j)) continue;
+      const double ratio = s.d[j] / (-s.arow[j]);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        q = j;
+        ties = 1;
+      } else if (ratio == best_ratio) {
+        ++ties;
+      }
+    }
+    s.meter.charge("dual_ratio", double(s.n_aug),
+                   double(3 * s.n_aug * sizeof(double)));
+    if (q == s.n_aug) return DualExit::kPrimalInfeasible;
+    const double theta_d = best_ratio;
+    // ---- FTRAN the entering column ----
+    ftran(s, q);
+    const double alpha_r = s.alpha[r];
+    if (std::abs(alpha_r) <= s.opt.pivot_tol) {
+      return DualExit::kNumericalTrouble;  // rho/alpha disagree: bail out
+    }
+    const double beta_r = s.beta[r];
+    const double theta_p = beta_r / alpha_r;
+    if (record::Recorder* rec = s.opt.recorder) {
+      record::DecisionRecord rec_r;
+      rec_r.phase = 2;
+      rec_r.bland = bland ? 1 : 0;
+      rec_r.iteration = stats.iterations;
+      rec_r.entering = static_cast<std::uint32_t>(q);
+      rec_r.leaving_row = static_cast<std::uint32_t>(r);
+      rec_r.leaving_col = s.basic[r];
+      rec_r.ratio_ties = ties;
+      rec_r.reduced_cost = s.d[q];
+      rec_r.pivot_value = alpha_r;
+      rec_r.theta = theta_p;
+      rec->record_pivot(rec_r);
+    }
+    // ---- updates: beta, reduced costs, reference weights ----
+    for (std::size_t i = 0; i < s.m; ++i) {
+      s.beta[i] -= theta_p * s.alpha[i];
+    }
+    s.beta[r] = theta_p;
+    const std::uint32_t leaving = s.basic[r];
+    for (std::size_t j = 0; j < s.n_aug; ++j) {
+      if (s.may_enter(j)) s.d[j] += theta_d * s.arow[j];
+    }
+    s.d[q] = 0.0;
+    s.d[leaving] = theta_d;
+    const double arq2 = s.arow[q] * s.arow[q];
+    const double wr = s.w[r];
+    for (std::size_t i = 0; i < s.m; ++i) {
+      if (i == r || s.alpha[i] == 0.0) continue;
+      s.w[i] = std::max(s.w[i], s.alpha[i] * s.alpha[i] / arq2 * wr);
+    }
+    s.w[r] = std::max(wr / arq2, 1.0);
+    s.meter.charge("dual_update", 4.0 * double(s.m) + 2.0 * double(s.n_aug),
+                   double((3 * s.m + 2 * s.n_aug) * sizeof(double)));
+    s.oracle->update(r, s.alpha);
+    s.basic[r] = static_cast<std::uint32_t>(q);
+    s.in_basis[leaving] = false;
+    s.in_basis[q] = true;
+    ++stats.iterations;
+    maybe_refactor(s, stats);
+    health.record_pivot(alpha_r, theta_p, bland, iter);
+    // Progress = dual-objective gain theta_d * |beta_r|; a degenerate
+    // streak (theta_d == 0) trips the Bland fallback above.
+    if (theta_d * -beta_r > 1e-12) {
+      since_improve = 0;
+    } else {
+      ++since_improve;
+    }
+    if (tr.enabled()) {
+      tr.counter("primal_infeasibility", s.meter.sim_seconds(), [&] {
+        double inf = 0.0;
+        for (const double v : s.beta) inf += v < 0.0 ? -v : 0.0;
+        return inf;
+      }());
+    }
+  }
+  return DualExit::kIterationLimit;
+}
+
+enum class PrimalExit { kOptimal, kUnbounded, kIterationLimit };
+
+/// Primal cleanup after the dual loop: once primal feasible, standard
+/// revised iterations (Dantzig with the hybrid Bland fallback) finish the
+/// solve under the true costs. This is also where a cold start on an
+/// already-primal-feasible crash basis does all its work.
+PrimalExit primal_loop(DualState& s, std::size_t budget, SolverStats& stats,
+                       metrics::HealthMonitor& health, std::uint8_t phase) {
+  const trace::Track& tr = s.meter.trace();
+  const auto clock = [&s] { return s.meter.sim_seconds(); };
+  double z = s.objective();
+  std::size_t since_improve = 0;
+  for (std::size_t iter = 0; iter < budget; ++iter) {
+    const bool bland =
+        s.opt.pricing == PricingRule::kBland ||
+        (s.opt.pricing != PricingRule::kBland &&
+         since_improve >= s.opt.degeneracy_window);
+    trace::ScopedSpan iter_span(tr, "iteration", clock, "iteration",
+                                {{"iter", static_cast<double>(iter)}});
+    btran(s);
+    price(s);
+    std::size_t q = s.n_aug;
+    if (bland) {
+      for (std::size_t j = 0; j < s.n_aug; ++j) {
+        if (s.d[j] < -s.opt.opt_tol) {
+          q = j;
+          break;
+        }
+      }
+    } else {
+      double best_d = -s.opt.opt_tol;
+      for (std::size_t j = 0; j < s.n_aug; ++j) {
+        if (s.d[j] < best_d) {
+          best_d = s.d[j];
+          q = j;
+        }
+      }
+    }
+    if (q == s.n_aug) return PrimalExit::kOptimal;
+    const double d_q = s.d[q];
+    ftran(s, q);
+    std::size_t p = s.m;
+    double theta = kInf;
+    for (std::size_t i = 0; i < s.m; ++i) {
+      if (s.alpha[i] > s.opt.pivot_tol) {
+        const double ratio = s.beta[i] / s.alpha[i];
+        if (ratio < theta) {
+          theta = ratio;
+          p = i;
+        }
+      }
+    }
+    s.meter.charge("ratio", double(s.m), double(3 * s.m * sizeof(double)));
+    if (p == s.m) return PrimalExit::kUnbounded;
+    const double alpha_p = s.alpha[p];
+    if (record::Recorder* rec = s.opt.recorder) {
+      std::uint32_t ties = 0;
+      for (std::size_t i = 0; i < s.m; ++i) {
+        if (s.alpha[i] > s.opt.pivot_tol && s.beta[i] / s.alpha[i] == theta) {
+          ++ties;
+        }
+      }
+      record::DecisionRecord rec_r;
+      rec_r.phase = phase;
+      rec_r.bland = bland ? 1 : 0;
+      rec_r.iteration = stats.iterations;
+      rec_r.entering = static_cast<std::uint32_t>(q);
+      rec_r.leaving_row = static_cast<std::uint32_t>(p);
+      rec_r.leaving_col = s.basic[p];
+      rec_r.ratio_ties = ties;
+      rec_r.reduced_cost = d_q;
+      rec_r.pivot_value = alpha_p;
+      rec_r.theta = theta;
+      rec->record_pivot(rec_r);
+    }
+    for (std::size_t i = 0; i < s.m; ++i) {
+      s.beta[i] = std::max(0.0, s.beta[i] - theta * s.alpha[i]);
+    }
+    s.beta[p] = theta;
+    s.oracle->update(p, s.alpha);
+    s.meter.charge("update_beta", 2.0 * double(s.m),
+                   double(3 * s.m * sizeof(double)));
+    const std::uint32_t leaving = s.basic[p];
+    s.basic[p] = static_cast<std::uint32_t>(q);
+    s.in_basis[leaving] = false;
+    s.in_basis[q] = true;
+    ++stats.iterations;
+    maybe_refactor(s, stats);
+    health.record_pivot(alpha_p, theta, bland, iter);
+    const double new_z = z + theta * d_q;
+    if (new_z < z - 1e-12 * (1.0 + std::abs(z))) {
+      since_improve = 0;
+    } else {
+      ++since_improve;
+    }
+    z = new_z;
+    if (tr.enabled()) tr.counter("objective", s.meter.sim_seconds(), z);
+  }
+  return PrimalExit::kIterationLimit;
+}
+
+/// Install a caller-provided basis with NO primal-feasibility gate — the
+/// whole point of the dual method is to accept primal-infeasible (but
+/// factorizable) bases and repair them. Returns false on shape/column
+/// problems or a singular basis; the crash basis then stays installed.
+[[nodiscard]] bool try_warm_start(DualState& s,
+                                  const std::vector<std::uint32_t>& basis) {
+  if (basis.size() != s.m) return false;
+  std::vector<bool> used(s.n_aug, false);
+  for (std::uint32_t col : basis) {
+    if (col >= s.n_aug || s.aug.is_artificial[col] || used[col]) return false;
+    used[col] = true;
+  }
+  std::vector<std::uint32_t> b(basis.begin(), basis.end());
+  if (!s.oracle->refactorize(b)) return false;
+  s.basic = std::move(b);
+  std::fill(s.in_basis.begin(), s.in_basis.end(), false);
+  for (const std::uint32_t col : s.basic) s.in_basis[col] = true;
+  s.oracle->ftran_raw(s.aug.b, s.beta);
+  return true;
+}
+
+/// Shift working costs up so every reduced cost is nonnegative (the
+/// "big-M-free" dual start): d_j < -tol becomes d_j = 0 by raising c_j.
+/// The true costs are restored before the primal cleanup loop.
+bool shift_to_dual_feasible(DualState& s) {
+  bool shifted = false;
+  for (std::size_t j = 0; j < s.n_aug; ++j) {
+    if (s.may_enter(j) && s.d[j] < -s.opt.opt_tol) {
+      s.c[j] -= s.d[j];
+      s.d[j] = 0.0;
+      shifted = true;
+    }
+  }
+  return shifted;
+}
+
+}  // namespace
+
+SolveResult DualRevisedSimplex::solve(const lp::LpProblem& problem) const {
+  const lp::StandardFormLp sf = lp::to_standard_form(problem);
+  return solve_standard(sf);
+}
+
+SolveResult DualRevisedSimplex::solve_standard(
+    const lp::StandardFormLp& sf) const {
+  // The dual method cannot price a crash basis that needs artificial
+  // columns ('>=' / '=' rows) and has no warm basis to start from; those
+  // cold solves delegate to the primal host engine (same options, same
+  // oracle choice) so every instance the primal engines accept still
+  // solves under Engine::kDualRevised.
+  {
+    const AugmentedLp probe = augment(sf);
+    if (probe.num_artificial > 0 && options_.warm_basis == nullptr) {
+      return HostRevisedSimplex(options_, model_).solve_standard(sf);
+    }
+  }
+  WallTimer wall;
+  CostMeter meter(model_,
+                  profile::chain(options_.profiler, options_.trace_sink,
+                                 trace::kHostPid, model_),
+                  options_.metrics);
+  metrics::SimplexOpMetrics op_metrics;
+  op_metrics.attach(options_.metrics);
+  metrics::HealthMonitor health(options_.metrics, options_.health);
+  const trace::Track& tr = meter.trace();
+  const auto clock = [&meter] { return meter.sim_seconds(); };
+  if (tr.enabled()) tr.name_thread("dual-revised");
+  trace::ScopedSpan solve_span(tr, "solve", clock, "solve");
+  const AugmentedLp aug = augment(sf);
+  DualState state(aug, options_, meter);
+  record::Recorder* rec = options_.recorder;
+  if (rec != nullptr) {
+    rec->begin_solve("dual-revised", 64, aug.m, aug.n_aug,
+                     decision_digest(aug));
+  }
+
+  SolveResult result;
+  auto finish = [&](SolveStatus status) -> SolveResult {
+    result.status = status;
+    result.basis = state.basic;
+    result.stats.wall_seconds = wall.seconds();
+    result.stats.device_stats = meter.stats();
+    result.stats.sim_seconds = meter.sim_seconds();
+    if (rec != nullptr) {
+      rec->end_solve(to_string(status), status == SolveStatus::kOptimal,
+                     options_.metrics ? options_.metrics->warnings_total() : 0,
+                     state.basic);
+    }
+    return result;
+  };
+
+  if (options_.warm_basis != nullptr) {
+    trace::ScopedSpan warm_span(tr, "warm_init", clock, "phase");
+    result.stats.warm_started = try_warm_start(state, *options_.warm_basis);
+    if (!result.stats.warm_started && aug.num_artificial > 0) {
+      // Rejected warm basis on an artificial-needing instance: the cold
+      // path is the primal engine's.
+      return HostRevisedSimplex(options_, model_).solve_standard(sf);
+    }
+  }
+
+  std::size_t budget = options_.max_iterations;
+  state.c = aug.c_phase2;
+  btran(state);
+  price(state);
+  const bool shifted = shift_to_dual_feasible(state);
+
+  DualExit dexit;
+  {
+    trace::ScopedSpan phase_span(tr, "dual", clock, "phase");
+    if (rec != nullptr) rec->begin_phase(2);
+    dexit = dual_loop(state, budget, result.stats, health);
+  }
+  if (dexit == DualExit::kIterationLimit) {
+    return finish(SolveStatus::kIterationLimit);
+  }
+  if (dexit == DualExit::kNumericalTrouble) {
+    return finish(SolveStatus::kNumericalTrouble);
+  }
+  if (dexit == DualExit::kPrimalInfeasible) {
+    return finish(SolveStatus::kInfeasible);
+  }
+  budget -= std::min(budget, result.stats.iterations);
+  for (double& v : state.beta) {
+    if (v < 0.0) v = 0.0;  // the dual loop left only sub-tolerance dust
+  }
+
+  PrimalExit pexit;
+  {
+    trace::ScopedSpan phase_span(tr, "primal_cleanup", clock, "phase");
+    // Restore true costs (only needed when the dual start shifted them;
+    // the pricing pass inside the loop recomputes every reduced cost).
+    if (shifted) state.c = aug.c_phase2;
+    pexit = primal_loop(state, budget, result.stats, health, 2);
+  }
+  if (pexit == PrimalExit::kUnbounded) return finish(SolveStatus::kUnbounded);
+  if (pexit == PrimalExit::kIterationLimit) {
+    return finish(SolveStatus::kIterationLimit);
+  }
+
+  std::vector<double> x_std(aug.n, 0.0);
+  for (std::size_t i = 0; i < aug.m; ++i) {
+    if (state.basic[i] < aug.n) x_std[state.basic[i]] = state.beta[i];
+  }
+  result.x = sf.recover(x_std);
+  double z = 0.0;
+  for (std::size_t j = 0; j < aug.n; ++j) z += sf.c[j] * x_std[j];
+  result.objective = sf.original_objective(z);
+  // state.pi holds the multipliers from the final pricing pass.
+  result.y = sf.recover_duals(state.pi);
+  return finish(SolveStatus::kOptimal);
+}
+
+}  // namespace gs::simplex

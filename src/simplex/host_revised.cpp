@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "metrics/health.hpp"
 #include "profile/profile.hpp"
+#include "simplex/basis/basis_oracle.hpp"
+#include "simplex/basis/explicit_inverse.hpp"
+#include "simplex/basis/product_form.hpp"
 #include "simplex/cost_meter.hpp"
 #include "simplex/phase_setup.hpp"
 #include "support/timer.hpp"
@@ -22,7 +26,10 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Mutable solver state for one solve (all host memory).
+/// Mutable solver state for one solve (all host memory). The basis
+/// representation lives behind the BasisOracle seam: SolverOptions::basis
+/// selects the explicit dense inverse (the default, bit-identical to the
+/// pre-oracle engine) or the product-form/eta scheme.
 struct State {
   State(const AugmentedLp& aug_in, const SolverOptions& opt_in,
         CostMeter& meter_in)
@@ -30,16 +37,26 @@ struct State {
         m(aug_in.m),
         n_aug(aug_in.n_aug),
         at(aug_in.dense_at()),
-        binv(m, m),
+        cols(at),
         beta(aug_in.beta_init),
         pi(m),
         d(n_aug),
         alpha(m),
+        colbuf(m),
+        cb(m),
         basic(aug_in.basic),
         in_basis(n_aug, false),
         opt(opt_in),
         meter(meter_in) {
-    for (std::size_t i = 0; i < m; ++i) binv(i, i) = aug.binv_diag[i];
+    if (opt.basis == BasisScheme::kExplicitInverse) {
+      oracle = std::make_unique<basis::ExplicitInverseOracle>(
+          m, aug.binv_diag, cols, meter, opt);
+    } else {
+      // Both sparse schemes (product-form, lu-factors) map onto the
+      // eta-file oracle on the host: LU factors plus an eta file.
+      oracle = std::make_unique<basis::ProductFormOracle>(m, basic, cols,
+                                                          meter, opt);
+    }
     for (std::uint32_t col : basic) in_basis[col] = true;
   }
 
@@ -55,9 +72,11 @@ struct State {
 
   const AugmentedLp& aug;
   std::size_t m, n_aug;
-  vblas::Matrix<double> at;    ///< A^T augmented (n_aug x m)
-  vblas::Matrix<double> binv;  ///< explicit B^-1
+  vblas::Matrix<double> at;  ///< A^T augmented (n_aug x m)
+  basis::DenseColumnSource cols;
+  std::unique_ptr<basis::BasisOracle> oracle;
   std::vector<double> beta, pi, d, alpha;
+  std::vector<double> colbuf, cb;  ///< oracle call scratch
   std::vector<std::uint32_t> basic;
   std::vector<bool> in_basis;
   std::vector<double> c;  ///< current phase costs
@@ -65,17 +84,10 @@ struct State {
   CostMeter& meter;
 };
 
-/// pi = (B^-1)^T c_B, accumulated row-wise for cache-friendly access.
+/// pi = (B^-1)^T c_B via the oracle's BTRAN.
 void btran(State& s) {
-  std::fill(s.pi.begin(), s.pi.end(), 0.0);
-  for (std::size_t i = 0; i < s.m; ++i) {
-    const double cbi = s.c[s.basic[i]];
-    if (cbi == 0.0) continue;
-    const auto row = s.binv.row(i);
-    for (std::size_t j = 0; j < s.m; ++j) s.pi[j] += cbi * row[j];
-  }
-  s.meter.charge("price_btran", 2.0 * double(s.m) * double(s.m),
-                 double((s.m * s.m + 2 * s.m) * sizeof(double)));
+  for (std::size_t i = 0; i < s.m; ++i) s.cb[i] = s.c[s.basic[i]];
+  s.oracle->btran(s.cb, s.pi);
 }
 
 /// d_j = c_j - a_j . pi for admissible columns, 0 otherwise.
@@ -116,14 +128,8 @@ void price(State& s) {
 }
 
 void ftran(State& s, std::size_t q) {
-  for (std::size_t i = 0; i < s.m; ++i) {
-    const auto row = s.binv.row(i);
-    double acc = 0.0;
-    for (std::size_t k = 0; k < s.m; ++k) acc += row[k] * s.at(q, k);
-    s.alpha[i] = acc;
-  }
-  s.meter.charge("ftran", 2.0 * double(s.m) * double(s.m),
-                 double((s.m * s.m + 2 * s.m) * sizeof(double)));
+  for (std::size_t k = 0; k < s.m; ++k) s.colbuf[k] = s.at(q, k);
+  s.oracle->ftran(s.colbuf, s.alpha);
 }
 
 /// Returns (row p, theta) or nullopt when unbounded. Ties break to the
@@ -147,25 +153,12 @@ void ftran(State& s, std::size_t q) {
 }
 
 void pivot(State& s, std::size_t q, std::size_t p, double theta) {
-  const double alpha_p = s.alpha[p];
   for (std::size_t i = 0; i < s.m; ++i) {
     s.beta[i] = std::max(0.0, s.beta[i] - theta * s.alpha[i]);
   }
   s.beta[p] = theta;
-  // Gauss-Jordan rank-1 update of the explicit inverse.
-  std::vector<double> prow(s.binv.row(p).begin(), s.binv.row(p).end());
-  for (std::size_t i = 0; i < s.m; ++i) {
-    auto row = s.binv.row(i);
-    if (i == p) {
-      for (std::size_t j = 0; j < s.m; ++j) row[j] = prow[j] / alpha_p;
-    } else {
-      const double f = s.alpha[i] / alpha_p;
-      if (f == 0.0) continue;
-      for (std::size_t j = 0; j < s.m; ++j) row[j] -= f * prow[j];
-    }
-  }
-  s.meter.charge("update_binv", 2.0 * double(s.m) * double(s.m),
-                 double((2 * s.m * s.m + 2 * s.m) * sizeof(double)));
+  // Rank-1 update (explicit inverse) or eta append (product form).
+  s.oracle->update(p, s.alpha);
   s.meter.charge("update_beta", 2.0 * double(s.m),
                  double(3 * s.m * sizeof(double)));
   const std::uint32_t leaving = s.basic[p];
@@ -187,10 +180,12 @@ void pivot(State& s, std::size_t q, std::size_t p, double theta) {
   // ---- rhs ranging: beta + delta * B^-1 e_i >= 0. ----
   out.rhs_lower.assign(sf.num_original_rows, -kInf);
   out.rhs_upper.assign(sf.num_original_rows, kInf);
+  std::vector<double> bcol(m);
   for (std::size_t i = 0; i < sf.num_original_rows; ++i) {
+    s.oracle->binv_col(i, bcol);
     double dlo = -kInf, dhi = kInf;
     for (std::size_t r = 0; r < m; ++r) {
-      const double v = s.binv(r, i);
+      const double v = bcol[r];
       if (v > tol) {
         dlo = std::max(dlo, -s.beta[r] / v);
       } else if (v < -tol) {
@@ -236,7 +231,8 @@ void pivot(State& s, std::size_t q, std::size_t p, double theta) {
       // Basic at row r: every admissible reduced cost d_k moves by
       // -delta * (B^-1 A)_{r,k}.
       const auto r = static_cast<std::size_t>(row_of[vm.col]);
-      const auto brow = s.binv.row(r);
+      std::vector<double> brow(m);
+      s.oracle->binv_row(r, brow);
       dlo = -kInf;
       dhi = kInf;
       for (std::size_t k = 0; k < s.n_aug; ++k) {
@@ -280,18 +276,20 @@ void sample_health(const State& s, metrics::HealthMonitor& health,
   const std::size_t step = std::max<std::size_t>(1, m / probes);
   double residual = 0.0;
   double growth = 0.0;
+  std::vector<double> bcol(m), brow(m);
   for (std::size_t t = 0; t < probes; ++t) {
     const std::size_t i = (iter + t * step) % m;
     const std::size_t j = (t % 2 == 0) ? i : (i + 1) % m;
+    s.oracle->binv_col(j, bcol);
     double acc = 0.0;
     for (std::size_t k = 0; k < m; ++k) {
-      acc += s.at(s.basic[k], i) * s.binv(k, j);
+      acc += s.at(s.basic[k], i) * bcol[k];
     }
     const double r = std::abs(acc - (i == j ? 1.0 : 0.0));
     if (r > residual) residual = r;
-    const auto row = s.binv.row(i);
+    s.oracle->binv_row(i, brow);
     for (std::size_t col = 0; col < m; ++col) {
-      const double v = std::abs(row[col]);
+      const double v = std::abs(brow[col]);
       if (v > growth) growth = v;
     }
   }
@@ -329,38 +327,12 @@ void sample_health(const State& s, metrics::HealthMonitor& health,
     if (col >= s.n_aug || s.aug.is_artificial[col] || used[col]) return false;
     used[col] = true;
   }
-  vblas::Matrix<double> b_mat(s.m, s.m);
-  for (std::size_t j = 0; j < s.m; ++j) {
-    for (std::size_t i = 0; i < s.m; ++i) b_mat(i, j) = s.at(basis[j], i);
-  }
-  vblas::Matrix<double> binv;
-  try {
-    binv = vblas::ref::invert(std::move(b_mat));
-  } catch (const gs::Error&) {
-    return false;  // singular basis: stale snapshot of a different family
-  }
-  std::vector<double> beta(s.m, 0.0);
-  for (std::size_t i = 0; i < s.m; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < s.m; ++j) acc += binv(i, j) * s.aug.b[j];
-    beta[i] = acc;
-  }
-  for (const double v : beta) {
-    if (v < -1e-9) return false;  // primal infeasible here: cold solve
-  }
-  for (double& v : beta) {
-    if (v < 0.0) v = 0.0;
-  }
-  s.binv = std::move(binv);
+  std::vector<double> beta;
+  if (!s.oracle->warm_start(basis, s.aug.b, beta)) return false;
   s.beta = std::move(beta);
   s.basic.assign(basis.begin(), basis.end());
   std::fill(s.in_basis.begin(), s.in_basis.end(), false);
   for (const std::uint32_t col : s.basic) s.in_basis[col] = true;
-  // One dense m×m inversion + the B⁻¹b product, on the host roofline.
-  s.meter.charge("warm_init",
-                 2.0 * double(s.m) * double(s.m) * double(s.m) +
-                     2.0 * double(s.m) * double(s.m),
-                 double((3 * s.m * s.m + 2 * s.m) * sizeof(double)));
   return true;
 }
 
@@ -436,6 +408,18 @@ LoopExit run_loop(State& s, std::size_t budget, SolverStats& stats,
     }
     lap_observe(metrics::SimplexOp::kUpdate);
     ++stats.iterations;
+    // Product-form refactorization: fold the eta file back into a fresh
+    // sparse LU when the interval or growth trigger fires (the explicit
+    // oracle only fires on an opt-in refactor_period). A singular basis
+    // here keeps the eta file; the representation stays exact either way.
+    if (s.oracle->wants_refactor()) {
+      trace::ScopedSpan op(tr, "refactor", clock, "op");
+      if (s.oracle->refactorize(s.basic)) {
+        if (record::Recorder* rec = s.opt.recorder) {
+          rec->record_refactor(stats.iterations);
+        }
+      }
+    }
     om.count_iteration();
     health.record_pivot(alpha_p, theta, bland, iter);
     telemetry::Telemetry* tel = s.opt.telemetry;
@@ -464,10 +448,11 @@ void drive_out_artificials(State& s, std::uint64_t iteration) {
   for (std::size_t i = 0; i < s.m; ++i) {
     if (!s.aug.is_artificial[s.basic[i]]) continue;
     std::size_t q = s.n_aug;
+    std::vector<double> brow(s.m);
+    s.oracle->binv_row(i, brow);
     for (std::size_t j = 0; j < s.aug.n; ++j) {
       if (s.in_basis[j]) continue;
       const auto col = s.at.row(j);
-      const auto brow = s.binv.row(i);
       double acc = 0.0;
       for (std::size_t r = 0; r < s.m; ++r) acc += col[r] * brow[r];
       if (std::abs(acc) > 1e-7) {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "simplex/device_revised.hpp"
+#include "simplex/dual_revised.hpp"
 #include "simplex/host_revised.hpp"
 #include "simplex/tableau.hpp"
 #include "simplex/types.hpp"
@@ -18,6 +19,7 @@ enum class Engine {
   kHostRevised,          ///< sequential CPU revised simplex baseline
   kTableau,              ///< full-tableau baseline
   kSparseRevised,        ///< CSR device solver (Ext. C, double precision)
+  kDualRevised,          ///< host dual revised simplex (warm-start path)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Engine e) noexcept {
@@ -27,6 +29,7 @@ enum class Engine {
     case Engine::kHostRevised: return "host-revised";
     case Engine::kTableau: return "tableau";
     case Engine::kSparseRevised: return "sparse-revised";
+    case Engine::kDualRevised: return "dual-revised";
   }
   return "?";
 }
@@ -55,6 +58,8 @@ enum class Engine {
       vgpu::Device dev(device_model);
       return SparseRevisedSimplex<double>(dev, options).solve(problem);
     }
+    case Engine::kDualRevised:
+      return DualRevisedSimplex(options, host_model).solve(problem);
   }
   GS_FAIL("unknown engine");
 }

@@ -176,9 +176,11 @@ struct SolverOptions {
   /// `warm_init` step on the cost meter) and starts phase 2 from it iff
   /// the basis is valid (square, non-artificial, distinct, nonsingular)
   /// and primal feasible (B⁻¹b ≥ 0); otherwise it falls back to the cold
-  /// crash basis and `SolverStats::warm_started` stays false. Device and
-  /// batch engines ignore it (the service routes warm-startable requests
-  /// to the host engine). Borrowed, not owned; must outlive the solve.
+  /// crash basis and `SolverStats::warm_started` stays false. The dual
+  /// engine is looser: any valid, factorizable basis is accepted — dual
+  /// pivots restore primal feasibility, which is why the service routes
+  /// warm-startable requests there. Device and batch engines ignore it.
+  /// Borrowed, not owned; must outlive the solve.
   const std::vector<std::uint32_t>* warm_basis = nullptr;
 
   /// Optional static-analysis capture log (CHECKING.md, "Static

@@ -262,8 +262,12 @@ class Device {
     record_kernel(name, cost, threads);
   }
 
-  /// Charge a host-to-device copy of `bytes`.
+  /// Charge a host-to-device copy of `bytes`. A zero-byte copy never
+  /// reaches the driver (the sparse paths hit this with empty index
+  /// ranges, same as the zero-block launch case above), so it costs
+  /// nothing and does not bump transfer counts.
   void account_h2d(std::size_t bytes) {
+    if (bytes == 0) return;
     const double t = model_.transfer_seconds(bytes);
     if (trace_.enabled()) {
       trace_.complete("h2d", stats_.sim_seconds(), t, "transfer",
@@ -280,8 +284,10 @@ class Device {
     stats_.h2d_seconds += t;
   }
 
-  /// Charge a device-to-host copy of `bytes`.
+  /// Charge a device-to-host copy of `bytes`. Zero bytes: uncharged, as
+  /// for h2d.
   void account_d2h(std::size_t bytes) {
+    if (bytes == 0) return;
     const double t = model_.transfer_seconds(bytes);
     if (trace_.enabled()) {
       trace_.complete("d2h", stats_.sim_seconds(), t, "transfer",

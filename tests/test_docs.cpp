@@ -168,4 +168,24 @@ TEST(Docs, TelemetrySectionIsDocumented) {
   EXPECT_NE(readme.find("--slo"), std::string::npos);
 }
 
+// Same contract for the basis-oracle seam and the dual warm-start path:
+// DESIGN.md carries the "Basis oracles" section with the refactorization
+// policy, SERVICE.md's warm-cache section names the dual engine, and
+// README's tour and decision table mention --basis / the dual engine.
+// These strings are load-bearing (tests/test_basis.cpp, test_service.cpp
+// and lp_cli reference the same vocabulary).
+TEST(Docs, BasisOracleSectionIsDocumented) {
+  const fs::path root(GS_SOURCE_DIR);
+  const std::string design = read_file(root / "DESIGN.md");
+  EXPECT_NE(design.find("## Basis oracles"), std::string::npos);
+  EXPECT_NE(design.find("ProductFormOracle"), std::string::npos);
+  EXPECT_NE(design.find("Refactorization policy"), std::string::npos);
+  const std::string service = read_file(root / "SERVICE.md");
+  EXPECT_NE(service.find("DualRevisedSimplex"), std::string::npos);
+  EXPECT_NE(service.find("no phase 1"), std::string::npos);
+  const std::string readme = read_file(root / "README.md");
+  EXPECT_NE(readme.find("--basis"), std::string::npos);
+  EXPECT_NE(readme.find("DualRevisedSimplex"), std::string::npos);
+}
+
 }  // namespace

@@ -274,6 +274,9 @@ TEST(ServiceWarmCache, PerturbedRepeatReusesBasisAndSkipsIterations) {
   EXPECT_TRUE(warm.solve.optimal());
   EXPECT_TRUE(warm.solve.stats.warm_started);
   EXPECT_EQ(reg.counter("service.warm.fallback").value(), 0.0);
+  // The warm route goes through the dual engine: the cached basis is
+  // accepted without building artificials, so no phase-1 pivots at all.
+  EXPECT_EQ(warm.solve.stats.phase1_iterations, 0u);
 
   // Scaling every cost preserves the argmin: same optimum, fewer pivots
   // than solving the perturbed instance cold.

@@ -280,6 +280,31 @@ TEST(DeviceBuffer, ZeroByteCopiesAreNotCharged) {
   EXPECT_EQ(dev.stats().d2h_bytes, 0u);
 }
 
+TEST(Device, ZeroByteAccountedTransfersAreUncharged) {
+  // Regression: the sparse compaction path (indices_where with no hits)
+  // used to call account_d2h(0), which charged the full PCIe latency
+  // floor and bumped d2h_count for a transfer that never reaches the
+  // driver. Zero-byte accounting must now be a no-op, matching the
+  // DeviceBuffer empty upload/download behavior.
+  Device dev(gtx280_model());
+  dev.account_h2d(0);
+  dev.account_d2h(0);
+  EXPECT_EQ(dev.stats().h2d_count, 0u);
+  EXPECT_EQ(dev.stats().d2h_count, 0u);
+  EXPECT_EQ(dev.stats().h2d_seconds, 0.0);
+  EXPECT_EQ(dev.stats().d2h_seconds, 0.0);
+  // The end-to-end site: an all-miss compaction returns no indices and
+  // must leave the transfer ledger untouched.
+  std::vector<double> host{1.0, 2.0, 3.0, 4.0};
+  DeviceBuffer<double> buf(dev, std::span<const double>(host));
+  const std::size_t d2h0 = dev.stats().d2h_count;
+  const double d2h_s0 = dev.stats().d2h_seconds;
+  const auto none = indices_where(buf, [](double v) { return v < 0.0; });
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(dev.stats().d2h_count, d2h0);
+  EXPECT_EQ(dev.stats().d2h_seconds, d2h_s0);
+}
+
 TEST(DeviceBuffer, CopyFromIsDeviceSide) {
   Device dev(gtx280_model());
   std::vector<double> host{1, 2, 3};
